@@ -1,0 +1,219 @@
+package dnastore
+
+// End-to-end CLI integration: build every command once and drive the full
+// tool workflow — generate → profile → simulate (calibrated) → reconstruct
+// → re-cluster — over real files, asserting each stage's outputs parse and
+// the reported numbers are sane.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"dnastore/internal/dataset"
+	"dnastore/internal/profile"
+)
+
+var (
+	cliOnce sync.Once
+	cliDir  string
+	cliErr  error
+)
+
+// buildCLIs compiles the command binaries once per test process.
+func buildCLIs(t *testing.T) string {
+	t.Helper()
+	cliOnce.Do(func() {
+		cliDir, cliErr = os.MkdirTemp("", "dnastore-cli")
+		if cliErr != nil {
+			return
+		}
+		for _, tool := range []string{"dnagen", "dnaprofile", "dnasim", "dnarecon", "dnacluster", "dnabench", "dnastore"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(cliDir, tool), "./cmd/"+tool)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				cliErr = err
+				t.Logf("build %s: %s", tool, out)
+				return
+			}
+		}
+	})
+	if cliErr != nil {
+		t.Fatalf("building CLIs: %v", cliErr)
+	}
+	return cliDir
+}
+
+func runCLI(t *testing.T, dir, tool string, args ...string) (stdout string) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(dir, tool), args...)
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			t.Fatalf("%s %v: %v\nstderr: %s", tool, args, err, ee.Stderr)
+		}
+		t.Fatalf("%s %v: %v", tool, args, err)
+	}
+	return string(out)
+}
+
+func TestCLIWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI workflow builds binaries")
+	}
+	bin := buildCLIs(t)
+	work := t.TempDir()
+	nanopore := filepath.Join(work, "nanopore.txt")
+	refs := filepath.Join(work, "refs.txt")
+	sim := filepath.Join(work, "sim.txt")
+	profJSON := filepath.Join(work, "profile.json")
+
+	// 1. Generate a small wetlab dataset.
+	runCLI(t, bin, "dnagen", "-clusters", "150", "-seed", "5", "-o", nanopore)
+	f, err := os.Open(nanopore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.Read(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumClusters() != 150 {
+		t.Fatalf("dnagen produced %d clusters", ds.NumClusters())
+	}
+
+	// 2. Profile it, saving the calibration as JSON.
+	out := runCLI(t, bin, "dnaprofile", "-in", nanopore, "-json", profJSON)
+	if !strings.Contains(out, "aggregate") || !strings.Contains(out, "Top 10 second-order errors") {
+		t.Errorf("dnaprofile output missing sections:\n%s", out)
+	}
+	pf, err := os.Open(profJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := profile.ReadJSON(pf)
+	pf.Close()
+	if err != nil {
+		t.Fatalf("saved profile unreadable: %v", err)
+	}
+	if p.AggregateRate() < 0.04 || p.AggregateRate() > 0.09 {
+		t.Errorf("saved profile aggregate = %v", p.AggregateRate())
+	}
+
+	// 3. Extract references, simulate with the calibrated second-order tier.
+	if err := os.WriteFile(refs, []byte(refsText(ds)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runCLI(t, bin, "dnasim", "-refs", refs, "-calibrate", nanopore, "-tier", "second-order",
+		"-coverage", "6", "-seed", "9", "-o", sim)
+	sf, err := os.Open(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simDS, err := dataset.Read(sf)
+	sf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simDS.NumClusters() != 150 || simDS.MeanCoverage() != 6 {
+		t.Fatalf("dnasim produced %d clusters at coverage %v", simDS.NumClusters(), simDS.MeanCoverage())
+	}
+
+	// 4. Reconstruct both datasets; per-strand accuracy must be printed.
+	recOut := runCLI(t, bin, "dnarecon", "-in", sim, "-algs", "iterative,bma", "-census")
+	if !strings.Contains(recOut, "Iterative") || !strings.Contains(recOut, "per-strand") {
+		t.Errorf("dnarecon output:\n%s", recOut)
+	}
+	if !strings.Contains(recOut, "residual") {
+		t.Errorf("dnarecon census missing:\n%s", recOut)
+	}
+
+	// 5. Re-cluster the simulated dataset and verify purity is reported.
+	reOut := runCLI(t, bin, "dnacluster", "-in", sim, "-dataset", "-o", filepath.Join(work, "re.txt"))
+	_ = reOut // purity goes to stderr; the output dataset must parse
+	rf, err := os.Open(filepath.Join(work, "re.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reDS, err := dataset.Read(rf)
+	rf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reDS.NumClusters() != 150 {
+		t.Fatalf("dnacluster produced %d clusters", reDS.NumClusters())
+	}
+	if reDS.NumReads() < simDS.NumReads()*8/10 {
+		t.Errorf("re-clustering kept only %d of %d reads", reDS.NumReads(), simDS.NumReads())
+	}
+
+	// 6. dnabench runs a single non-workbench experiment quickly.
+	benchOut := runCLI(t, bin, "dnabench", "-exp", "table1.1")
+	if !strings.Contains(benchOut, "Nanopore") {
+		t.Errorf("dnabench table1.1 output:\n%s", benchOut)
+	}
+}
+
+func TestCLIStoreRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI workflow builds binaries")
+	}
+	bin := buildCLIs(t)
+	work := t.TempDir()
+	pool := filepath.Join(work, "pool.json")
+	src := filepath.Join(work, "doc.txt")
+	dst := filepath.Join(work, "out.txt")
+	payload := []byte(strings.Repeat("archival payload line\n", 8))
+	if err := os.WriteFile(src, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runCLI(t, bin, "dnastore", "put", "-pool", pool, "-key", "doc", "-file", src)
+	lsOut := runCLI(t, bin, "dnastore", "ls", "-pool", pool)
+	if !strings.Contains(lsOut, "doc") {
+		t.Fatalf("ls output: %q", lsOut)
+	}
+	runCLI(t, bin, "dnastore", "get", "-pool", pool, "-key", "doc", "-o", dst, "-error", "0.02", "-coverage", "14")
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Error("dnastore round trip corrupted the payload")
+	}
+}
+
+func TestCLIFastqFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI workflow builds binaries")
+	}
+	bin := buildCLIs(t)
+	base := filepath.Join(t.TempDir(), "gen")
+	runCLI(t, bin, "dnagen", "-clusters", "20", "-format", "fastq", "-o", base)
+	fasta, err := os.ReadFile(base + ".fasta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(fasta), ">ref-0") {
+		t.Errorf("FASTA output malformed: %q", string(fasta[:40]))
+	}
+	fastq, err := os.ReadFile(base + ".fastq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(fastq), "@cluster-0/read-0") {
+		t.Errorf("FASTQ output malformed: %q", string(fastq[:40]))
+	}
+}
+
+func refsText(ds *dataset.Dataset) string {
+	var sb strings.Builder
+	for _, ref := range ds.References() {
+		sb.WriteString(string(ref))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,78 @@
+// Command dnagen generates the synthetic "real Nanopore" dataset — the
+// wetlab stand-in described in DESIGN.md §2 — and writes it in the cluster
+// text format (reference, separator, noisy reads, blank line).
+//
+// Usage:
+//
+//	dnagen -clusters 10000 -len 110 -coverage 26.97 -error 0.059 -o nanopore.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dnastore/internal/seqio"
+	"dnastore/internal/wetlab"
+)
+
+func main() {
+	cfg := wetlab.DefaultConfig()
+	var out string
+	flag.IntVar(&cfg.NumClusters, "clusters", cfg.NumClusters, "number of reference strands")
+	flag.IntVar(&cfg.StrandLen, "len", cfg.StrandLen, "reference strand length")
+	flag.Float64Var(&cfg.MeanCoverage, "coverage", cfg.MeanCoverage, "mean sequencing coverage")
+	flag.Float64Var(&cfg.Dispersion, "dispersion", cfg.Dispersion, "negative-binomial coverage dispersion")
+	flag.Float64Var(&cfg.ErrorRate, "error", cfg.ErrorRate, "aggregate per-base error rate")
+	flag.Float64Var(&cfg.ErasureP, "erasures", cfg.ErasureP, "whole-cluster erasure probability")
+	seed := flag.Uint64("seed", cfg.Seed, "random seed")
+	format := flag.String("format", "clusters", "output format: clusters (text), fastq (refs FASTA + reads FASTQ)")
+	flag.StringVar(&out, "o", "-", "output file (- for stdout); with -format fastq, the base name for <out>.fasta/<out>.fastq")
+	flag.Parse()
+	cfg.Seed = *seed
+
+	ds, err := wetlab.Generate(cfg)
+	if err != nil {
+		fail(err)
+	}
+	switch *format {
+	case "clusters":
+		w := os.Stdout
+		if out != "-" {
+			f, err := os.Create(out)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := ds.Write(w); err != nil {
+			fail(err)
+		}
+	case "fastq":
+		if out == "-" {
+			fail(fmt.Errorf("-format fastq needs -o <basename>"))
+		}
+		rf, err := os.Create(out + ".fasta")
+		if err != nil {
+			fail(err)
+		}
+		defer rf.Close()
+		qf, err := os.Create(out + ".fastq")
+		if err != nil {
+			fail(err)
+		}
+		defer qf.Close()
+		if err := seqio.WriteDataset(rf, qf, ds, 12); err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("unknown format %q", *format))
+	}
+	fmt.Fprintln(os.Stderr, ds.ComputeStats())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dnagen:", err)
+	os.Exit(1)
+}

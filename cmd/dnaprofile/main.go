@@ -1,0 +1,115 @@
+// Command dnaprofile extracts the paper's data-driven error profile from a
+// clustered dataset: aggregate and conditional IDS rates, the substitution
+// confusion matrix, long-deletion statistics, the spatial error histogram,
+// and the second-order error table (§3.3, Fig 3.6).
+//
+// Usage:
+//
+//	dnaprofile -in nanopore.txt [-spatial] [-second-order 10] [-randomize]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dnastore/internal/channel"
+	"dnastore/internal/dataset"
+	"dnastore/internal/dna"
+	"dnastore/internal/profile"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "clusters file (required)")
+		spatial   = flag.Bool("spatial", false, "print the per-position error histogram")
+		topK      = flag.Int("second-order", 10, "print the top-K second-order errors")
+		randomize = flag.Bool("randomize", false, "use randomized edit-script tie-breaks (paper Appendix B)")
+		seed      = flag.Uint64("seed", 1, "seed for randomized tie-breaks")
+		jsonOut   = flag.String("json", "", "write the full profile as JSON to this path")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "dnaprofile: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	ds, err := dataset.Read(f)
+	if err != nil {
+		fail(err)
+	}
+	p, err := profile.Profile(ds, profile.Options{RandomizeScripts: *randomize, Seed: *seed})
+	if err != nil {
+		fail(err)
+	}
+
+	if *jsonOut != "" {
+		jf, err := os.Create(*jsonOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := p.WriteJSON(jf); err != nil {
+			jf.Close()
+			fail(err)
+		}
+		if err := jf.Close(); err != nil {
+			fail(err)
+		}
+	}
+
+	fmt.Println(ds.ComputeStats())
+	fmt.Println(p.Summary())
+	if ratio := p.HomopolymerErrorRatio(); ratio > 0 {
+		fmt.Printf("homopolymer error boost (runs >= 3): %.2fx\n", ratio)
+	}
+	fmt.Println()
+
+	fmt.Println("Conditional rates P(err | base):")
+	per := p.PerBaseRates()
+	for b := dna.Base(0); b < dna.NumBases; b++ {
+		fmt.Printf("  %s: sub %.4f  ins %.4f  del %.4f\n", b, per[b].Sub, per[b].Ins, per[b].Del)
+	}
+	fmt.Println()
+
+	fmt.Println("Substitution confusion matrix P(read | sub of ref):")
+	conf := p.SubConfusion()
+	fmt.Printf("        %6s %6s %6s %6s\n", "A", "C", "G", "T")
+	for b := dna.Base(0); b < dna.NumBases; b++ {
+		fmt.Printf("  %s ->", b)
+		for c := dna.Base(0); c < dna.NumBases; c++ {
+			fmt.Printf(" %6.3f", conf[b][c])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	ld := p.LongDeletion()
+	fmt.Printf("Long deletions: p=%.4f, mean length %.2f, length weights %v\n\n",
+		ld.Prob, ld.MeanLen(), ld.LengthWeights)
+
+	if *topK > 0 {
+		fmt.Printf("Top %d second-order errors (share of all errors %.1f%%):\n", *topK, 100*p.SecondOrderShare(*topK))
+		for i, s := range p.TopSecondOrder(*topK) {
+			e := channel.SecondOrderError{Kind: s.Kind, From: s.From, To: s.To}
+			fmt.Printf("  %2d. %-10s ×%d\n", i+1, e.String(), s.Count)
+		}
+		fmt.Println()
+	}
+
+	if *spatial {
+		fmt.Println("Spatial error histogram (position: count):")
+		for i, c := range p.SpatialHistogram() {
+			fmt.Printf("%d,%g\n", i, c)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dnaprofile:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,157 @@
+// Command dnasim simulates the noisy DNA storage channel: it reads
+// reference strands (one per line), perturbs them with a configurable
+// channel tier, and writes the resulting clustered dataset.
+//
+// The channel can be parameterised two ways:
+//
+//   - directly, with -sub/-ins/-del (+ optional -spatial and -longdel),
+//   - or data-driven, with -calibrate <dataset>: the full calibration
+//     pipeline of the paper fits the chosen -tier from real clusters.
+//
+// Usage:
+//
+//	dnasim -refs refs.txt -coverage 6 -sub 0.02 -ins 0.01 -del 0.03 -o sim.txt
+//	dnasim -refs refs.txt -calibrate nanopore.txt -tier second-order -o sim.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dnastore/internal/channel"
+	"dnastore/internal/dataset"
+	"dnastore/internal/dist"
+	"dnastore/internal/dna"
+	"dnastore/internal/profile"
+)
+
+func main() {
+	var (
+		refsPath  = flag.String("refs", "", "reference strands file (one per line, required)")
+		out       = flag.String("o", "-", "output clusters file (- for stdout)")
+		coverage  = flag.Float64("coverage", 6, "fixed coverage, or the mean when -coverage-model is stochastic")
+		covModel  = flag.String("coverage-model", "fixed", "coverage model: fixed, negbin, poisson, normal")
+		sub       = flag.Float64("sub", 0, "substitution probability per base")
+		ins       = flag.Float64("ins", 0, "insertion probability per base")
+		del       = flag.Float64("del", 0, "deletion probability per base")
+		spatial   = flag.String("spatial", "uniform", "spatial distribution: uniform, a-shape, v-shape, terminal-skew")
+		longDel   = flag.Bool("longdel", false, "enable the paper's long-deletion burst model")
+		calibrate = flag.String("calibrate", "", "clusters file to fit the channel from (overrides -sub/-ins/-del)")
+		tier      = flag.String("tier", "second-order", "calibrated tier: naive, conditional, skew, second-order, dnasimulator")
+		seed      = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *refsPath == "" {
+		fmt.Fprintln(os.Stderr, "dnasim: -refs is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	refs, err := readRefs(*refsPath)
+	if err != nil {
+		fail(err)
+	}
+
+	var ch channel.Channel
+	if *calibrate != "" {
+		ch, err = calibratedChannel(*calibrate, *tier)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		rates := channel.Rates{Sub: *sub, Ins: *ins, Del: *del}
+		if err := rates.Validate(); err != nil {
+			fail(err)
+		}
+		m := channel.NewNaive("dnasim", rates)
+		if *longDel {
+			m.LongDel = channel.PaperLongDeletion()
+		}
+		if *spatial != "uniform" {
+			sp, err := dist.ByName(*spatial)
+			if err != nil {
+				fail(err)
+			}
+			m = m.WithSpatial(sp)
+		}
+		ch = m
+	}
+
+	var cov channel.CoverageModel
+	switch *covModel {
+	case "fixed":
+		cov = channel.FixedCoverage(int(*coverage))
+	case "negbin":
+		cov = channel.NegBinCoverage{Mean: *coverage, Dispersion: 2.5}
+	case "poisson":
+		cov = channel.PoissonCoverage(*coverage)
+	case "normal":
+		cov = channel.NormalCoverage{Mean: *coverage, SD: *coverage / 3}
+	default:
+		fail(fmt.Errorf("unknown coverage model %q", *covModel))
+	}
+
+	sim := channel.Simulator{Channel: ch, Coverage: cov}
+	ds := sim.Simulate("simulated", refs, *seed)
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := ds.Write(w); err != nil {
+		fail(err)
+	}
+	fmt.Fprintln(os.Stderr, sim.Describe())
+	fmt.Fprintln(os.Stderr, ds.ComputeStats())
+}
+
+func readRefs(path string) ([]dna.Strand, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadRefs(f)
+}
+
+func calibratedChannel(path, tier string) (channel.Channel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ds, err := dataset.Read(f)
+	if err != nil {
+		return nil, err
+	}
+	p, err := profile.Profile(ds, profile.Options{})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(os.Stderr, "calibration:", p.Summary())
+	switch tier {
+	case "naive":
+		return p.NaiveModel("naive"), nil
+	case "conditional":
+		return p.ConditionalModel("conditional"), nil
+	case "skew":
+		return p.SkewedModel("skew"), nil
+	case "second-order":
+		return p.SecondOrderModel("second-order", 10), nil
+	case "dnasimulator":
+		return p.DNASimulatorBaseline("dnasimulator"), nil
+	default:
+		return nil, fmt.Errorf("unknown tier %q", tier)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dnasim:", err)
+	os.Exit(1)
+}

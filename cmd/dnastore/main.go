@@ -1,0 +1,166 @@
+// Command dnastore drives the key-value store (§1.1.1): files are stored
+// under keys in a designed DNA pool persisted as JSON, and retrieved back
+// through a simulated noisy sequencing run — PCR selection by the key's
+// primer, clustering, trace reconstruction and Reed–Solomon decoding.
+//
+// Usage:
+//
+//	dnastore put  -pool pool.json -key report.pdf -file report.pdf
+//	dnastore ls   -pool pool.json
+//	dnastore get  -pool pool.json -key report.pdf -o out.pdf -error 0.03 -coverage 14
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dnastore/internal/channel"
+	"dnastore/internal/codec"
+	"dnastore/internal/dist"
+	"dnastore/internal/store"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "put":
+		err = cmdPut(os.Args[2:])
+	case "ls":
+		err = cmdLs(os.Args[2:])
+	case "get":
+		err = cmdGet(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnastore:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `dnastore — a DNA pool as a key-value store
+
+subcommands:
+  put  -pool <file> -key <key> -file <path>   store a file (creates the pool if absent)
+  ls   -pool <file>                           list stored keys
+  get  -pool <file> -key <key> -o <path>      retrieve through a simulated sequencing run
+       [-error 0.02] [-coverage 14] [-seed 7] [-skew]`)
+}
+
+// loadOrNewPool opens an existing pool file or creates a fresh pool.
+func loadOrNewPool(path string, seed uint64) (*store.Pool, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return store.New(store.Options{
+			Archive: codec.Archive{StrandParity: 8, GroupData: 10, GroupParity: 6},
+			Seed:    seed,
+		}), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return store.Load(f)
+}
+
+func loadPool(path string) (*store.Pool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return store.Load(f)
+}
+
+func cmdPut(args []string) error {
+	fs := flag.NewFlagSet("put", flag.ExitOnError)
+	pool := fs.String("pool", "pool.json", "pool file")
+	key := fs.String("key", "", "object key (required)")
+	file := fs.String("file", "", "file to store (required)")
+	seed := fs.Uint64("seed", 7, "primer seed for a new pool")
+	fs.Parse(args)
+	if *key == "" || *file == "" {
+		return fmt.Errorf("put needs -key and -file")
+	}
+	p, err := loadOrNewPool(*pool, *seed)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	if err := p.Store(*key, data); err != nil {
+		return err
+	}
+	out, err := os.Create(*pool)
+	if err != nil {
+		return err
+	}
+	if err := p.Save(out); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "stored %q (%d bytes) — pool now holds %d objects in %d strands\n",
+		*key, len(data), len(p.Keys()), p.NumStrands())
+	return nil
+}
+
+func cmdLs(args []string) error {
+	fs := flag.NewFlagSet("ls", flag.ExitOnError)
+	pool := fs.String("pool", "pool.json", "pool file")
+	fs.Parse(args)
+	p, err := loadPool(*pool)
+	if err != nil {
+		return err
+	}
+	for _, k := range p.Keys() {
+		fmt.Println(k)
+	}
+	fmt.Fprintf(os.Stderr, "%d objects, %d designed strands\n", len(p.Keys()), p.NumStrands())
+	return nil
+}
+
+func cmdGet(args []string) error {
+	fs := flag.NewFlagSet("get", flag.ExitOnError)
+	pool := fs.String("pool", "pool.json", "pool file")
+	key := fs.String("key", "", "object key (required)")
+	out := fs.String("o", "", "output file (required)")
+	errRate := fs.Float64("error", 0.02, "sequencing error rate")
+	coverage := fs.Float64("coverage", 14, "mean sequencing coverage")
+	seed := fs.Uint64("seed", 7, "sequencing seed")
+	skew := fs.Bool("skew", false, "apply the Nanopore terminal error skew")
+	fs.Parse(args)
+	if *key == "" || *out == "" {
+		return fmt.Errorf("get needs -key and -o")
+	}
+	p, err := loadPool(*pool)
+	if err != nil {
+		return err
+	}
+	ch := channel.NewNaive("sequencer", channel.NanoporeMix(*errRate))
+	if *skew {
+		ch = ch.WithSpatial(dist.NanoporeSkew())
+	}
+	reads := p.Sequence(ch, channel.NegBinCoverage{Mean: *coverage, Dispersion: 6}, *seed)
+	fmt.Fprintf(os.Stderr, "sequenced the pool: %d reads at %.1f%% error\n", len(reads), *errRate*100)
+	data, err := p.Retrieve(*key, reads)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "recovered %q: %d bytes -> %s\n", *key, len(data), *out)
+	return nil
+}

@@ -1,0 +1,11 @@
+// Package dnastore is a Go reproduction of "Simulating Noisy Channels in
+// DNA Storage" (Keoliya, 2022): a data-driven simulator for the noisy DNA
+// storage channel, the trace-reconstruction algorithms used to evaluate
+// it, and a benchmark harness that regenerates every table and figure of
+// the paper's evaluation.
+//
+// The library lives under internal/ (see DESIGN.md for the module map);
+// the executables under cmd/ and the runnable walkthroughs under examples/
+// are the intended entry points. The benchmarks in bench_test.go pair with
+// cmd/dnabench: one benchmark per paper artifact.
+package dnastore

@@ -1,0 +1,53 @@
+// Sensitivity: the paper's §3.4 spatial-distribution study. At identical
+// aggregate error (p̄ = 0.15) and coverage, only the *shape* of the error
+// distribution changes — uniform, A-shaped (peak mid-strand) or V-shaped
+// (peaks at the terminals) — and reconstruction accuracy moves by tens of
+// points: BMA thrives on A-shaped noise (it propagates its own errors to
+// the middle anyway) and suffers on V-shaped noise.
+package main
+
+import (
+	"fmt"
+
+	"dnastore/internal/channel"
+	"dnastore/internal/dist"
+	"dnastore/internal/metrics"
+	"dnastore/internal/recon"
+)
+
+func main() {
+	refs := channel.RandomReferences(1500, 110, 11)
+	const p = 0.15
+
+	fmt.Printf("aggregate error %.0f%%, coverage 5, 1500 strands of length 110\n\n", p*100)
+	fmt.Printf("%-14s %-30s %-30s\n", "distribution", "BMA", "Iterative-2way")
+	for _, spatial := range []dist.Spatial{dist.Uniform{}, dist.TriangularA{}, dist.TriangularV{}} {
+		ch := channel.NewNaive("p15", channel.EqualMix(p)).WithSpatial(spatial)
+		sim := channel.Simulator{Channel: ch, Coverage: channel.FixedCoverage(5)}
+		ds := sim.Simulate(spatial.Name(), refs, 13)
+
+		bma := metrics.ComputeAccuracy(ds.References(), recon.ReconstructDataset(recon.NewBMA(), ds))
+		tw := metrics.ComputeAccuracy(ds.References(), recon.ReconstructDataset(recon.NewTwoWayIterative(), ds))
+		fmt.Printf("%-14s %-30s %-30s\n", spatial.Name(), bma, tw)
+	}
+
+	// Show the post-reconstruction gestalt profile shapes the paper plots
+	// in Fig 3.10: where do the residual errors live?
+	fmt.Println("\nresidual gestalt error mass by strand third (BMA):")
+	for _, spatial := range []dist.Spatial{dist.TriangularA{}, dist.TriangularV{}} {
+		ch := channel.NewNaive("p15", channel.EqualMix(p)).WithSpatial(spatial)
+		sim := channel.Simulator{Channel: ch, Coverage: channel.FixedCoverage(5)}
+		ds := sim.Simulate(spatial.Name(), refs, 17)
+		out := recon.ReconstructDataset(recon.NewBMA(), ds)
+		g := metrics.GestaltProfile(ds.References(), out, 110)
+		third := func(lo, hi int) int {
+			s := 0
+			for i := lo; i < hi; i++ {
+				s += g.Counts[i]
+			}
+			return s
+		}
+		fmt.Printf("  %-10s first %6d   middle %6d   last %6d\n",
+			spatial.Name(), third(0, 37), third(37, 74), third(74, 111))
+	}
+}

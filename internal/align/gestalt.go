@@ -1,0 +1,138 @@
+package align
+
+// Block is one matching region found by gestalt pattern matching: a.APos
+// and b.BPos are the start offsets of an identical substring of length Len
+// in the two strings.
+type Block struct {
+	APos, BPos, Len int
+}
+
+// MatchingBlocks returns the Ratcliff–Obershelp matching blocks of a and b:
+// the longest common substring, then recursively the matching blocks of the
+// regions to its left and to its right. Blocks are returned in ascending
+// position order. Ties for the longest common substring break toward the
+// earliest position in a, then in b, which matches the classic algorithm and
+// keeps the result deterministic.
+func MatchingBlocks(a, b string) []Block {
+	var blocks []Block
+	matchBlocks(a, b, 0, 0, &blocks)
+	return blocks
+}
+
+// matchBlocks appends the matching blocks of a and b, whose offsets within
+// the original strings are aOff and bOff.
+func matchBlocks(a, b string, aOff, bOff int, blocks *[]Block) {
+	if len(a) == 0 || len(b) == 0 {
+		return
+	}
+	ai, bi, l := longestCommonSubstring(a, b)
+	if l == 0 {
+		return
+	}
+	matchBlocks(a[:ai], b[:bi], aOff, bOff, blocks)
+	*blocks = append(*blocks, Block{APos: aOff + ai, BPos: bOff + bi, Len: l})
+	matchBlocks(a[ai+l:], b[bi+l:], aOff+ai+l, bOff+bi+l, blocks)
+}
+
+// longestCommonSubstring returns the start positions and length of the
+// longest substring common to a and b (leftmost in a, then b, on ties).
+// It uses a rolling DP row: O(|a|·|b|) time, O(|b|) space.
+func longestCommonSubstring(a, b string) (ai, bi, l int) {
+	row := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		// Iterate j descending so row[j-1] still holds the previous row.
+		for j := len(b); j >= 1; j-- {
+			if a[i-1] == b[j-1] {
+				row[j] = row[j-1] + 1
+				if row[j] > l {
+					l = row[j]
+					ai = i - l
+					bi = j - l
+				}
+			} else {
+				row[j] = 0
+			}
+		}
+	}
+	return ai, bi, l
+}
+
+// GestaltScore returns the Ratcliff–Obershelp similarity 2·Km/(|a|+|b|),
+// where Km is the total length of matching blocks. Two empty strings score 1.
+func GestaltScore(a, b string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	km := 0
+	for _, blk := range MatchingBlocks(a, b) {
+		km += blk.Len
+	}
+	return 2 * float64(km) / float64(len(a)+len(b))
+}
+
+// GestaltErrorPositions returns the read positions that are *sources of
+// misalignment* between a reference strand and a read, per the paper's
+// gestalt-aligned error definition (§3.2): unmatched read characters
+// (insertions and substitution products) are errors at their own positions,
+// and each unmatched reference character (a deletion) is one error recorded
+// at the read position where the gap occurs. For ref=AGTC, read=ATC this
+// yields exactly one error at read position 1 — the deletion of G — whereas
+// the Hamming comparison flags positions 1..2 and the length mismatch.
+func GestaltErrorPositions(ref, read string) []int {
+	blocks := MatchingBlocks(ref, read)
+	var errs []int
+	refPrev, readPrev := 0, 0
+	flushGap := func(refEnd, readEnd int) {
+		// Unmatched read characters.
+		for p := readPrev; p < readEnd; p++ {
+			errs = append(errs, p)
+		}
+		// Deletions beyond the substituted span: reference characters with
+		// no read counterpart, attributed to the gap's read position.
+		refGap := refEnd - refPrev
+		readGap := readEnd - readPrev
+		for k := 0; k < refGap-readGap; k++ {
+			pos := readEnd
+			if pos > len(read) {
+				pos = len(read)
+			}
+			errs = append(errs, pos)
+		}
+	}
+	for _, blk := range blocks {
+		flushGap(blk.APos, blk.BPos)
+		refPrev = blk.APos + blk.Len
+		readPrev = blk.BPos + blk.Len
+	}
+	flushGap(len(ref), len(read))
+	return errs
+}
+
+// HammingErrorPositions returns every read position that differs from the
+// reference at the same index, plus one entry per position of length
+// mismatch (read positions beyond the reference, or reference positions
+// beyond the read, the latter clamped to the read length). This is the
+// paper's "Hamming comparison": a single early indel makes every subsequent
+// position count as an error, which is exactly the propagation behaviour
+// Figs 3.2a and 3.4 visualise.
+func HammingErrorPositions(ref, read string) []int {
+	var errs []int
+	n := len(ref)
+	if len(read) < n {
+		n = len(read)
+	}
+	for i := 0; i < n; i++ {
+		if ref[i] != read[i] {
+			errs = append(errs, i)
+		}
+	}
+	// Extra read characters are errors at their own positions.
+	for i := n; i < len(read); i++ {
+		errs = append(errs, i)
+	}
+	// Missing read characters are errors attributed to the read end.
+	for i := n; i < len(ref); i++ {
+		errs = append(errs, len(read))
+	}
+	return errs
+}

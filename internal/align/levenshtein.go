@@ -1,0 +1,136 @@
+// Package align provides the sequence-comparison primitives the simulator
+// is built on: Levenshtein distance, maximum-likelihood edit-script
+// extraction (the paper's Appendix B algorithm, in dynamic-programming
+// form), and Ratcliff–Obershelp gestalt pattern matching (§3.1) with the
+// matching blocks and aligned error positions used for the paper's
+// "gestalt-aligned" error profiles.
+package align
+
+// Distance returns the Levenshtein (unit-cost edit) distance between a and
+// b, using O(min(|a|,|b|)) memory.
+func Distance(a, b string) int {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	// b is the shorter string; one rolling row over b.
+	n := len(b)
+	if n == 0 {
+		return len(a)
+	}
+	row := make([]int, n+1)
+	for j := range row {
+		row[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		prev := row[0] // row[i-1][0]
+		row[0] = i
+		for j := 1; j <= n; j++ {
+			cur := row[j]
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			best := prev + cost // substitution / match
+			if row[j]+1 < best {
+				best = row[j] + 1 // deletion from a
+			}
+			if row[j-1]+1 < best {
+				best = row[j-1] + 1 // insertion into a
+			}
+			row[j] = best
+			prev = cur
+		}
+	}
+	return row[n]
+}
+
+// DistanceAtMost returns the Levenshtein distance between a and b if it is
+// <= k, and (k+1, false) otherwise. It runs the banded Ukkonen algorithm in
+// O(k·min(|a|,|b|)) time, which makes it the workhorse of the clustering
+// substrate where most pairs are far apart.
+func DistanceAtMost(a, b string, k int) (int, bool) {
+	if k < 0 {
+		return k + 1, false
+	}
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(a)-len(b) > k {
+		return k + 1, false
+	}
+	n := len(b)
+	if n == 0 {
+		return len(a), true
+	}
+	const inf = int(^uint(0) >> 2)
+	row := make([]int, n+1)
+	for j := 0; j <= n; j++ {
+		if j <= k {
+			row[j] = j
+		} else {
+			row[j] = inf
+		}
+	}
+	for i := 1; i <= len(a); i++ {
+		lo := i - k
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + k
+		if hi > n {
+			hi = n
+		}
+		if lo > hi {
+			return k + 1, false
+		}
+		prev := row[lo-1] // diagonal for j = lo
+		if lo-1 == 0 {
+			row[0] = i // column 0 cost
+			if i > k {
+				row[0] = inf
+			}
+		}
+		if lo > 1 {
+			row[lo-1] = inf // outside band on this row
+		}
+		rowMin := inf
+		for j := lo; j <= hi; j++ {
+			cur := row[j]
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			best := inf
+			if prev < inf {
+				best = prev + cost
+			}
+			if cur < inf && cur+1 < best {
+				best = cur + 1
+			}
+			if row[j-1] < inf && row[j-1]+1 < best {
+				best = row[j-1] + 1
+			}
+			row[j] = best
+			if best < rowMin {
+				rowMin = best
+			}
+			prev = cur
+		}
+		if hi < n {
+			row[hi+1] = inf
+		}
+		if rowMin > k {
+			return k + 1, false
+		}
+	}
+	if row[n] > k {
+		return k + 1, false
+	}
+	return row[n], true
+}
+
+// Similar reports whether the edit distance between a and b is at most k.
+func Similar(a, b string, k int) bool {
+	_, ok := DistanceAtMost(a, b, k)
+	return ok
+}

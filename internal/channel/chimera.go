@@ -1,0 +1,78 @@
+package channel
+
+import (
+	"fmt"
+
+	"dnastore/internal/dataset"
+	"dnastore/internal/dna"
+	"dnastore/internal/rng"
+)
+
+// Chimeric reads: §2.2.3 faults DNASimulator for ignoring "errors due to
+// strand-strand interactions, since the injection of errors for every
+// strand is performed independently". The dominant interaction artifact in
+// real pools is the chimera — a read whose prefix comes from one strand
+// and whose suffix comes from another (template switching during PCR, or
+// ligation during library preparation). Chimeras are a pool-level effect:
+// a per-strand Channel cannot produce them, so they are modelled by a
+// Simulator wrapper that sees the whole reference pool.
+
+// ChimericSimulator wraps a Simulator: each generated read is, with
+// probability P, replaced by a chimera of its own reference and a random
+// partner reference, spliced at a uniform position, before passing through
+// the noisy channel.
+type ChimericSimulator struct {
+	// Simulator produces the base dataset.
+	Simulator
+	// P is the per-read chimera probability.
+	P float64
+}
+
+// Simulate produces the dataset with chimeras injected. Reads remain
+// attributed to the cluster whose reference donated the prefix (the
+// clustering stage would mostly group them there, since the prefix
+// dominates edit distance to the true reference).
+func (cs ChimericSimulator) Simulate(name string, refs []dna.Strand, seed uint64) *dataset.Dataset {
+	if cs.P < 0 || cs.P > 1 {
+		panic(fmt.Sprintf("channel: chimera probability %g out of [0,1]", cs.P))
+	}
+	ds := cs.Simulator.Simulate(name, refs, seed)
+	if cs.P == 0 || len(refs) < 2 {
+		return ds
+	}
+	r := rng.New(seed ^ 0xc41e5a)
+	for i := range ds.Clusters {
+		ref := ds.Clusters[i].Ref
+		for k := range ds.Clusters[i].Reads {
+			if !r.Bool(cs.P) {
+				continue
+			}
+			// Pick a distinct partner and a splice point, then re-transmit
+			// the chimeric template through the channel.
+			j := r.Intn(len(refs) - 1)
+			if j >= i {
+				j++
+			}
+			partner := refs[j]
+			template := spliceTemplates(ref, partner, r)
+			ds.Clusters[i].Reads[k] = cs.Channel.Transmit(template, r)
+		}
+	}
+	return ds
+}
+
+// spliceTemplates joins a prefix of a with a suffix of b at a uniform
+// position (at least one base from each side).
+func spliceTemplates(a, b dna.Strand, r *rng.RNG) dna.Strand {
+	if a.Len() < 2 || b.Len() < 2 {
+		return a
+	}
+	cut := 1 + r.Intn(a.Len()-1)
+	// The suffix starts at the corresponding relative position of b so the
+	// chimera's length stays near the design length.
+	bCut := cut
+	if bCut >= b.Len() {
+		bCut = b.Len() - 1
+	}
+	return a[:cut] + b[bCut:]
+}

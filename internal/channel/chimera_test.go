@@ -1,0 +1,99 @@
+package channel
+
+import (
+	"testing"
+
+	"dnastore/internal/align"
+)
+
+func TestChimericSimulatorZeroP(t *testing.T) {
+	refs := RandomReferences(20, 60, 1)
+	base := Simulator{Channel: NewNaive("n", EqualMix(0.02)), Coverage: FixedCoverage(4)}
+	plain := base.Simulate("p", refs, 7)
+	chim := ChimericSimulator{Simulator: base, P: 0}.Simulate("c", refs, 7)
+	for i := range plain.Clusters {
+		for k := range plain.Clusters[i].Reads {
+			if plain.Clusters[i].Reads[k] != chim.Clusters[i].Reads[k] {
+				t.Fatal("P=0 changed reads")
+			}
+		}
+	}
+}
+
+func TestChimericSimulatorInjectsChimeras(t *testing.T) {
+	refs := RandomReferences(30, 110, 2)
+	base := Simulator{Channel: NewNaive("clean", Rates{}), Coverage: FixedCoverage(10)}
+	const p = 0.2
+	ds := ChimericSimulator{Simulator: base, P: p}.Simulate("c", refs, 9)
+	total, far := 0, 0
+	for i, c := range ds.Clusters {
+		for _, read := range c.Reads {
+			total++
+			// With an error-free channel, non-chimeric reads equal the
+			// reference exactly; chimeras sit far away.
+			if read != refs[i] {
+				far++
+				// The chimera's prefix still matches its own reference.
+				k := 8
+				if read.Len() < k {
+					k = read.Len()
+				}
+				if string(read[:k]) != string(refs[i][:k]) {
+					// The splice can land within the first k bases; only a
+					// systematic mismatch would be a bug, so tolerate it.
+					continue
+				}
+			}
+		}
+	}
+	rate := float64(far) / float64(total)
+	if rate < p*0.7 || rate > p*1.3 {
+		t.Errorf("chimera rate = %v, want ≈%v", rate, p)
+	}
+}
+
+func TestChimeraLengthNearDesign(t *testing.T) {
+	refs := RandomReferences(10, 110, 3)
+	base := Simulator{Channel: NewNaive("clean", Rates{}), Coverage: FixedCoverage(6)}
+	ds := ChimericSimulator{Simulator: base, P: 1}.Simulate("c", refs, 11)
+	for _, c := range ds.Clusters {
+		for _, read := range c.Reads {
+			if read.Len() < 100 || read.Len() > 120 {
+				t.Fatalf("chimera length %d far from design 110", read.Len())
+			}
+			if err := read.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestChimerasRaiseApparentError(t *testing.T) {
+	refs := RandomReferences(50, 110, 4)
+	base := Simulator{Channel: NewNaive("n", EqualMix(0.02)), Coverage: FixedCoverage(5)}
+	plain := base.Simulate("p", refs, 13)
+	chim := ChimericSimulator{Simulator: base, P: 0.15}.Simulate("c", refs, 13)
+	dPlain, dChim := 0, 0
+	for i := range plain.Clusters {
+		for k := range plain.Clusters[i].Reads {
+			dPlain += align.Distance(string(refs[i]), string(plain.Clusters[i].Reads[k]))
+			dChim += align.Distance(string(refs[i]), string(chim.Clusters[i].Reads[k]))
+		}
+	}
+	if dChim <= dPlain*2 {
+		t.Errorf("chimeras did not raise apparent error: %d vs %d", dChim, dPlain)
+	}
+}
+
+func TestChimericSimulatorPanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	refs := RandomReferences(2, 20, 5)
+	ChimericSimulator{
+		Simulator: Simulator{Channel: NewNaive("n", Rates{}), Coverage: FixedCoverage(1)},
+		P:         1.5,
+	}.Simulate("bad", refs, 1)
+}

@@ -1,0 +1,106 @@
+package channel
+
+import (
+	"dnastore/internal/dna"
+	"dnastore/internal/rng"
+)
+
+// BaseErrorRates is one row of the DNASimulator error dictionary E: the
+// per-base probabilities of substitution, insertion, deletion and
+// long-deletion used by Algorithm 1.
+type BaseErrorRates struct {
+	Sub, Ins, Del, LongDel float64
+}
+
+// Total returns the combined per-position probability.
+func (b BaseErrorRates) Total() float64 { return b.Sub + b.Ins + b.Del + b.LongDel }
+
+// DNASimulator reimplements the baseline simulator of Gadihh et al. [7]
+// exactly as the paper's Algorithm 1 describes it: a static per-base error
+// dictionary, position-independent errors, uniformly random substituted and
+// inserted bases, and no modelling of PCR, coverage skew or spatial
+// distribution. It exists to reproduce the comparison rows of Tables 2.1,
+// 2.2, 3.1 and 3.2 — including its documented weaknesses.
+type DNASimulator struct {
+	// Label names the channel in tables; defaults to "DNASimulator".
+	Label string
+	// Errors is the per-base dictionary E, predetermined per
+	// synthesis/sequencing technology pair.
+	Errors [dna.NumBases]BaseErrorRates
+	// LongDelLen is the burst length used for long deletions (>= 2).
+	LongDelLen int
+}
+
+// NewDNASimulator builds a DNASimulator whose four dictionary rows share
+// the given rates — the common published configuration.
+func NewDNASimulator(label string, r BaseErrorRates) *DNASimulator {
+	s := &DNASimulator{Label: label, LongDelLen: 2}
+	for b := range s.Errors {
+		s.Errors[b] = r
+	}
+	return s
+}
+
+// DefaultNanoporeDict returns the hard-coded dictionary shape DNASimulator
+// ships for (Twist Bioscience, Nanopore) experiments: an aggregate error
+// rate around 5.9% dominated by deletions and substitutions.
+func DefaultNanoporeDict() BaseErrorRates {
+	return BaseErrorRates{Sub: 0.022, Ins: 0.011, Del: 0.023, LongDel: 0.003}
+}
+
+// DefaultIlluminaDict returns the dictionary shape for (Twist Bioscience,
+// Illumina NextSeq): an order of magnitude cleaner, substitution-dominant.
+func DefaultIlluminaDict() BaseErrorRates {
+	return BaseErrorRates{Sub: 0.0032, Ins: 0.0006, Del: 0.0012, LongDel: 0.0001}
+}
+
+// Name implements Channel.
+func (s *DNASimulator) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "DNASimulator"
+}
+
+// Transmit implements Channel, following Algorithm 1: for every base, draw
+// one uniform variate and compare it against the cumulative thresholds
+// sub, sub+ins, sub+ins+del, sub+ins+del+longdel. Substituted and inserted
+// bases are uniform over all four bases — including, for substitutions,
+// the original base, one of the modelling deficiencies §2.2.3 documents.
+func (s *DNASimulator) Transmit(ref dna.Strand, r *rng.RNG) dna.Strand {
+	out := make([]byte, 0, ref.Len()+4)
+	burst := s.LongDelLen
+	if burst < 2 {
+		burst = 2
+	}
+	for i := 0; i < ref.Len(); {
+		b := ref.At(i)
+		e := s.Errors[b]
+		u := r.Float64()
+		switch {
+		case u < e.Sub:
+			out = append(out, dna.Base(r.Intn(dna.NumBases)).Byte())
+			i++
+		case u < e.Sub+e.Ins:
+			out = append(out, b.Byte(), dna.Base(r.Intn(dna.NumBases)).Byte())
+			i++
+		case u < e.Sub+e.Ins+e.Del:
+			i++
+		case u < e.Sub+e.Ins+e.Del+e.LongDel:
+			i += burst
+		default:
+			out = append(out, b.Byte())
+			i++
+		}
+	}
+	return dna.Strand(out)
+}
+
+// AggregateRate returns the mean dictionary total across bases.
+func (s *DNASimulator) AggregateRate() float64 {
+	sum := 0.0
+	for _, e := range s.Errors {
+		sum += e.Total()
+	}
+	return sum / dna.NumBases
+}

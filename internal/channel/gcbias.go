@@ -1,0 +1,55 @@
+package channel
+
+import (
+	"fmt"
+	"math"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/rng"
+)
+
+// RefAwareCoverage is an optional extension of CoverageModel for models
+// whose read count depends on the reference strand itself (PCR prefers
+// some sequences over others — Heckel et al.'s observation in §2.1).
+// Simulator detects it by type assertion.
+type RefAwareCoverage interface {
+	CoverageModel
+	// SampleRef returns the read count for the given reference strand.
+	SampleRef(ref dna.Strand, clusterIndex int, r *rng.RNG) int
+}
+
+// GCBiasCoverage attenuates another coverage model for strands whose
+// GC-ratio deviates from 50%: amplification efficiency decays
+// exponentially with deviation, which both skews the copy-number
+// distribution and silently erases extreme strands — the PCR bias
+// DNASimulator does not model (§2.2.3).
+type GCBiasCoverage struct {
+	// Base supplies the unbiased coverage.
+	Base CoverageModel
+	// Strength controls the decay: the expected coverage is multiplied by
+	// exp(-Strength · |GC − 0.5| · 2). Zero disables the bias.
+	Strength float64
+}
+
+// Name implements CoverageModel.
+func (g GCBiasCoverage) Name() string {
+	return fmt.Sprintf("%s+gcbias(%.1f)", g.Base.Name(), g.Strength)
+}
+
+// Sample implements CoverageModel (no reference: falls back to the base).
+func (g GCBiasCoverage) Sample(i int, r *rng.RNG) int {
+	return g.Base.Sample(i, r)
+}
+
+// SampleRef implements RefAwareCoverage.
+func (g GCBiasCoverage) SampleRef(ref dna.Strand, i int, r *rng.RNG) int {
+	n := g.Base.Sample(i, r)
+	if g.Strength <= 0 || n == 0 {
+		return n
+	}
+	deviation := math.Abs(ref.GCRatio()-0.5) * 2 // 0 at balance, 1 at extreme
+	keep := math.Exp(-g.Strength * deviation)
+	// Thin the reads binomially: each copy survives amplification with
+	// probability keep.
+	return r.Binomial(n, keep)
+}

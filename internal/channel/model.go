@@ -1,0 +1,390 @@
+package channel
+
+import (
+	"fmt"
+	"sync"
+
+	"dnastore/internal/align"
+	"dnastore/internal/dist"
+	"dnastore/internal/dna"
+	"dnastore/internal/rng"
+)
+
+// SecondOrderError is one specific error with its own spatial distribution
+// (§3.3.3): e.g. "deletion of G" or "substitution A→G", observed to carry
+// its own positional skew in the Nanopore data (Fig 3.6).
+type SecondOrderError struct {
+	// Kind is align.Sub, align.Del or align.Ins.
+	Kind align.OpKind
+	// From is the reference base the error applies to (Sub and Del). It is
+	// ignored for Ins.
+	From dna.Base
+	// To is the produced base (Sub and Ins). It is ignored for Del.
+	To dna.Base
+	// Rate is the per-position probability of this error at a position
+	// where it applies, before spatial weighting.
+	Rate float64
+	// Spatial holds relative per-position weights (resampled to the strand
+	// length, normalised to mean 1). Nil means uniform.
+	Spatial []float64
+}
+
+// String renders the error in the paper's "del(G)" / "sub(A→G)" style.
+func (e SecondOrderError) String() string {
+	switch e.Kind {
+	case align.Sub:
+		return fmt.Sprintf("sub(%s→%s)", e.From, e.To)
+	case align.Del:
+		return fmt.Sprintf("del(%s)", e.From)
+	case align.Ins:
+		return fmt.Sprintf("ins(%s)", e.To)
+	default:
+		return fmt.Sprintf("unknown(%d)", e.Kind)
+	}
+}
+
+// applies reports whether the error can occur at a position holding base b.
+func (e SecondOrderError) applies(b dna.Base) bool {
+	if e.Kind == align.Ins {
+		return true
+	}
+	return e.From == b
+}
+
+// Model is the paper's progressively-refined error model. Each evaluation
+// tier (§3.3) is a Model with more fields populated:
+//
+//   - Naive: identical PerBase rates, nil SubMatrix behaviour (uniform),
+//     zero LongDel, nil Spatial, no SecondOrder.
+//   - "+ Cond. Prob + Del": per-base conditional rates, a substitution
+//     confusion matrix and long deletions.
+//   - "+ Spatial Skew": a dist.Spatial shaping the per-position rates.
+//   - "+ 2nd-order Errors": the top-K specific errors with their own
+//     spatial histograms; PerBase rates hold the residual generic mass.
+//
+// The zero Model is an error-free channel. Models are safe for concurrent
+// Transmit calls.
+type Model struct {
+	// Label is the channel name reported in tables.
+	Label string
+	// PerBase holds the conditional error rates P(err-type | base).
+	PerBase [dna.NumBases]Rates
+	// SubMatrix[b][c] is P(read base = c | substitution of ref base b).
+	// A row that sums to zero falls back to uniform over the other bases.
+	SubMatrix [dna.NumBases][dna.NumBases]float64
+	// InsDist is the distribution of inserted bases; all-zero means uniform.
+	InsDist [dna.NumBases]float64
+	// LongDel models burst deletions.
+	LongDel LongDeletion
+	// Spatial shapes per-position error intensity; nil means uniform.
+	Spatial dist.Spatial
+	// SecondOrder lists specific errors layered on top of the generic
+	// model. Their rates are *in addition to* PerBase; calibration shrinks
+	// PerBase so the aggregate stays fixed.
+	SecondOrder []SecondOrderError
+
+	mu        sync.Mutex
+	multCache map[int][]float64 // strand length -> per-position multiplier
+	soCache   map[int][][]float64
+}
+
+// Name implements Channel.
+func (m *Model) Name() string {
+	if m.Label != "" {
+		return m.Label
+	}
+	return "model"
+}
+
+// NewNaive returns the paper's naive simulator: three aggregate parameters,
+// no base conditioning, no bursts, uniform spatial distribution.
+func NewNaive(label string, r Rates) *Model {
+	m := &Model{Label: label}
+	for b := range m.PerBase {
+		m.PerBase[b] = r
+	}
+	return m
+}
+
+// AggregateRate returns the mean per-position error probability assuming a
+// uniform base composition: the average over bases of the conditional total
+// plus the long-deletion start probability and the second-order mass.
+func (m *Model) AggregateRate() float64 {
+	sum := 0.0
+	for b := 0; b < dna.NumBases; b++ {
+		sum += m.PerBase[b].Total()
+	}
+	agg := sum/dna.NumBases + m.LongDel.Prob
+	for _, e := range m.SecondOrder {
+		if e.Kind == align.Ins {
+			agg += e.Rate
+		} else {
+			// Applies only at positions holding e.From (≈ 1/4 of them).
+			agg += e.Rate / dna.NumBases
+		}
+	}
+	return agg
+}
+
+// multipliers returns cached per-position multipliers with mean 1 encoding
+// the model's spatial shape for strands of the given length.
+func (m *Model) multipliers(length int) []float64 {
+	if m.Spatial == nil {
+		return nil // uniform; callers treat nil as all-ones
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if mult, ok := m.multCache[length]; ok {
+		return mult
+	}
+	// Use a nominal rate to extract the *shape*; dividing by the mean turns
+	// it into multipliers. A small nominal rate avoids the clamp at
+	// high-skew positions distorting the shape.
+	const nominal = 0.01
+	rates := m.Spatial.Rates(length, nominal)
+	mult := make([]float64, length)
+	for i, r := range rates {
+		mult[i] = r / nominal
+	}
+	if m.multCache == nil {
+		m.multCache = make(map[int][]float64)
+	}
+	m.multCache[length] = mult
+	return mult
+}
+
+// secondOrderMults returns, per second-order error, the cached mean-1
+// position-weight vector resampled to the given strand length.
+func (m *Model) secondOrderMults(length int) [][]float64 {
+	if len(m.SecondOrder) == 0 {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if v, ok := m.soCache[length]; ok {
+		return v
+	}
+	out := make([][]float64, len(m.SecondOrder))
+	for k, e := range m.SecondOrder {
+		if len(e.Spatial) == 0 {
+			continue // uniform
+		}
+		emp := dist.Empirical{Weights: e.Spatial}
+		const nominal = 0.01
+		rates := emp.Rates(length, nominal)
+		mult := make([]float64, length)
+		for i, r := range rates {
+			mult[i] = r / nominal
+		}
+		out[k] = mult
+	}
+	if m.soCache == nil {
+		m.soCache = make(map[int][][]float64)
+	}
+	m.soCache[length] = out
+	return out
+}
+
+// maxPositionRate caps the combined event probability at one position.
+const maxPositionRate = 0.99
+
+// Transmit implements Channel. Events at each reference position are, in
+// cumulative order: each applicable second-order error, generic
+// substitution, generic insertion (ref base emitted, extra base appended),
+// generic deletion, long deletion (burst of >= 2 bases), else faithful copy.
+func (m *Model) Transmit(ref dna.Strand, r *rng.RNG) dna.Strand {
+	length := ref.Len()
+	if length == 0 {
+		return ref
+	}
+	mult := m.multipliers(length)
+	soMult := m.secondOrderMults(length)
+	out := make([]byte, 0, length+4)
+	for i := 0; i < length; {
+		b := ref.At(i)
+		posMult := 1.0
+		if mult != nil {
+			posMult = mult[i]
+		}
+		rates := m.PerBase[b].Scale(posMult)
+		longDel := m.LongDel.Prob * posMult
+
+		// Second-order mass first.
+		soTotal := 0.0
+		for k, e := range m.SecondOrder {
+			if !e.applies(b) {
+				continue
+			}
+			w := 1.0
+			if soMult != nil && soMult[k] != nil {
+				w = soMult[k][i]
+			}
+			soTotal += e.Rate * w
+		}
+		total := soTotal + rates.Total() + longDel
+		scale := 1.0
+		if total > maxPositionRate {
+			scale = maxPositionRate / total
+		}
+
+		u := r.Float64()
+		acc := 0.0
+		matched := false
+		for k, e := range m.SecondOrder {
+			if !e.applies(b) {
+				continue
+			}
+			w := 1.0
+			if soMult != nil && soMult[k] != nil {
+				w = soMult[k][i]
+			}
+			acc += e.Rate * w * scale
+			if u < acc {
+				switch e.Kind {
+				case align.Sub:
+					out = append(out, e.To.Byte())
+					i++
+				case align.Del:
+					i++
+				case align.Ins:
+					out = append(out, b.Byte(), e.To.Byte())
+					i++
+				}
+				matched = true
+				break
+			}
+		}
+		if matched {
+			continue
+		}
+		switch {
+		case u < acc+rates.Sub*scale:
+			out = append(out, m.sampleSub(b, r).Byte())
+			i++
+		case u < acc+(rates.Sub+rates.Ins)*scale:
+			out = append(out, b.Byte(), m.sampleIns(r).Byte())
+			i++
+		case u < acc+(rates.Sub+rates.Ins+rates.Del)*scale:
+			i++
+		case u < acc+(rates.Total()+longDel)*scale:
+			i += m.LongDel.sampleLen(r)
+		default:
+			out = append(out, b.Byte())
+			i++
+		}
+	}
+	return dna.Strand(out)
+}
+
+// sampleSub draws the replacement base for a substitution of b using the
+// confusion matrix; an all-zero row falls back to uniform over the other
+// three bases.
+func (m *Model) sampleSub(b dna.Base, r *rng.RNG) dna.Base {
+	row := m.SubMatrix[b]
+	total := 0.0
+	for c, w := range row {
+		if dna.Base(c) == b {
+			continue
+		}
+		total += w
+	}
+	if total <= 0 {
+		// Uniform over the three other bases.
+		k := r.Intn(dna.NumBases - 1)
+		c := dna.Base(k)
+		if c >= b {
+			c++
+		}
+		return c
+	}
+	u := r.Float64() * total
+	for c := 0; c < dna.NumBases; c++ {
+		if dna.Base(c) == b {
+			continue
+		}
+		u -= row[c]
+		if u < 0 {
+			return dna.Base(c)
+		}
+	}
+	return b.Complement() // numerically unreachable fallback
+}
+
+// sampleIns draws the inserted base; an all-zero InsDist is uniform.
+func (m *Model) sampleIns(r *rng.RNG) dna.Base {
+	total := 0.0
+	for _, w := range m.InsDist {
+		total += w
+	}
+	if total <= 0 {
+		return dna.Base(r.Intn(dna.NumBases))
+	}
+	u := r.Float64() * total
+	for c, w := range m.InsDist {
+		u -= w
+		if u < 0 {
+			return dna.Base(c)
+		}
+	}
+	return dna.Base(dna.NumBases - 1)
+}
+
+// WithSpatial returns a copy of the model using the given spatial shape;
+// the paper's "+ Spatial Skew" tier is WithSpatial(dist.NanoporeSkew()).
+func (m *Model) WithSpatial(s dist.Spatial) *Model {
+	out := m.shallowCopy()
+	out.Spatial = s
+	return out
+}
+
+// WithLabel returns a copy with a different table label.
+func (m *Model) WithLabel(label string) *Model {
+	out := m.shallowCopy()
+	out.Label = label
+	return out
+}
+
+// WithSecondOrder returns a copy carrying the given specific errors. To
+// keep the aggregate rate unchanged (the §3.3.3 protocol: "a further
+// decrease in accuracy despite the same aggregate probability"), the
+// generic PerBase and LongDel mass is shrunk by the second-order share.
+func (m *Model) WithSecondOrder(errors []SecondOrderError) *Model {
+	out := m.shallowCopy()
+	out.SecondOrder = append([]SecondOrderError(nil), errors...)
+	before := m.AggregateRate()
+	if before <= 0 {
+		return out
+	}
+	soMass := 0.0
+	for _, e := range errors {
+		if e.Kind == align.Ins {
+			soMass += e.Rate
+		} else {
+			soMass += e.Rate / dna.NumBases
+		}
+	}
+	shrink := (before - soMass) / before
+	if shrink < 0 {
+		shrink = 0
+	}
+	for b := range out.PerBase {
+		out.PerBase[b] = out.PerBase[b].Scale(shrink)
+	}
+	out.LongDel.Prob *= shrink
+	return out
+}
+
+// shallowCopy duplicates the model without its caches or mutex state.
+func (m *Model) shallowCopy() *Model {
+	out := &Model{
+		Label:       m.Label,
+		PerBase:     m.PerBase,
+		SubMatrix:   m.SubMatrix,
+		InsDist:     m.InsDist,
+		LongDel:     m.LongDel,
+		Spatial:     m.Spatial,
+		SecondOrder: append([]SecondOrderError(nil), m.SecondOrder...),
+	}
+	out.LongDel.LengthWeights = append([]float64(nil), m.LongDel.LengthWeights...)
+	return out
+}

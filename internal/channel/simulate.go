@@ -1,0 +1,97 @@
+package channel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dnastore/internal/dataset"
+	"dnastore/internal/dna"
+	"dnastore/internal/rng"
+)
+
+// Simulator pairs a noisy channel with a coverage model to turn reference
+// strands into a full clustered dataset — the end-to-end operation the
+// paper's problem definition (§2.3) formalises as
+// (Σ_L)^N → (Σ*)^M.
+type Simulator struct {
+	// Channel perturbs individual strands.
+	Channel Channel
+	// Coverage decides reads per cluster.
+	Coverage CoverageModel
+}
+
+// Simulate produces one dataset. Each cluster's reads are generated from an
+// RNG split deterministically from the seed and cluster index, so results
+// are reproducible and independent of parallelism.
+func (s Simulator) Simulate(name string, refs []dna.Strand, seed uint64) *dataset.Dataset {
+	if s.Channel == nil {
+		panic("channel: Simulator without a Channel")
+	}
+	if s.Coverage == nil {
+		panic("channel: Simulator without a CoverageModel")
+	}
+	ds := &dataset.Dataset{Name: name, Clusters: make([]dataset.Cluster, len(refs))}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(refs) {
+		workers = len(refs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (len(refs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(refs) {
+			hi = len(refs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				// Per-cluster RNG derived from seed and index keeps output
+				// independent of worker scheduling.
+				r := rng.New(seed ^ (0x9e3779b97f4a7c15 * uint64(i+1)))
+				var n int
+				if ra, ok := s.Coverage.(RefAwareCoverage); ok {
+					n = ra.SampleRef(refs[i], i, r)
+				} else {
+					n = s.Coverage.Sample(i, r)
+				}
+				reads := make([]dna.Strand, 0, n)
+				for k := 0; k < n; k++ {
+					reads = append(reads, s.Channel.Transmit(refs[i], r))
+				}
+				ds.Clusters[i] = dataset.Cluster{Ref: refs[i], Reads: reads}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return ds
+}
+
+// RandomReferences generates n uniformly random reference strands of the
+// given length — the synthetic payload used throughout the evaluation.
+func RandomReferences(n, length int, seed uint64) []dna.Strand {
+	r := rng.New(seed)
+	refs := make([]dna.Strand, n)
+	buf := make([]byte, length)
+	for i := range refs {
+		for j := range buf {
+			buf[j] = dna.Base(r.Intn(dna.NumBases)).Byte()
+		}
+		refs[i] = dna.Strand(string(buf))
+	}
+	return refs
+}
+
+// Describe returns a one-line description of the simulator configuration.
+func (s Simulator) Describe() string {
+	return fmt.Sprintf("channel=%s coverage=%s", s.Channel.Name(), s.Coverage.Name())
+}

@@ -1,0 +1,270 @@
+package channel
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/rng"
+)
+
+func TestDNASimulatorBasics(t *testing.T) {
+	s := NewDNASimulator("", DefaultNanoporeDict())
+	if s.Name() != "DNASimulator" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	agg := s.AggregateRate()
+	if math.Abs(agg-0.059) > 0.001 {
+		t.Errorf("Nanopore dict aggregate = %v, want ~0.059", agg)
+	}
+	r := rng.New(1)
+	ref := dna.Strand(RandomReferences(1, 110, 1)[0])
+	read := s.Transmit(ref, r)
+	if err := read.Validate(); err != nil {
+		t.Fatalf("invalid read: %v", err)
+	}
+}
+
+func TestDNASimulatorErrorFree(t *testing.T) {
+	s := NewDNASimulator("clean", BaseErrorRates{})
+	r := rng.New(2)
+	ref := dna.Strand("ACGTACGT")
+	if got := s.Transmit(ref, r); got != ref {
+		t.Errorf("error-free DNASimulator perturbed strand")
+	}
+}
+
+func TestDNASimulatorLongDeletionBurst(t *testing.T) {
+	s := NewDNASimulator("ld", BaseErrorRates{LongDel: 1})
+	s.LongDelLen = 3
+	r := rng.New(3)
+	ref := dna.Strand("ACGTACGTACGT") // 12 bases; every position starts a burst
+	read := s.Transmit(ref, r)
+	if read.Len() != 0 {
+		t.Errorf("always-long-del left %d bases", read.Len())
+	}
+	// Default burst length when unset must be >= 2.
+	s2 := &DNASimulator{Errors: [dna.NumBases]BaseErrorRates{{LongDel: 1}, {LongDel: 1}, {LongDel: 1}, {LongDel: 1}}}
+	read2 := s2.Transmit("AAAA", r)
+	if read2.Len() != 0 {
+		t.Errorf("zero-config burst left %q", read2)
+	}
+}
+
+func TestDNASimulatorSubstitutionCanKeepBase(t *testing.T) {
+	// Algorithm 1 picks the replacement uniformly from all four bases, so
+	// ~25% of substitutions silently keep the original base.
+	s := NewDNASimulator("sub", BaseErrorRates{Sub: 1})
+	r := rng.New(4)
+	ref := dna.Repeat(dna.A, 4000)
+	read := s.Transmit(ref, r)
+	kept := 0
+	for i := 0; i < read.Len(); i++ {
+		if read.At(i) == dna.A {
+			kept++
+		}
+	}
+	frac := float64(kept) / float64(read.Len())
+	if math.Abs(frac-0.25) > 0.03 {
+		t.Errorf("kept-base fraction = %v, want ~0.25", frac)
+	}
+}
+
+func TestRandomReferences(t *testing.T) {
+	refs := RandomReferences(50, 110, 5)
+	if len(refs) != 50 {
+		t.Fatalf("got %d refs", len(refs))
+	}
+	for _, ref := range refs {
+		if ref.Len() != 110 {
+			t.Fatalf("ref length %d", ref.Len())
+		}
+		if err := ref.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Deterministic per seed.
+	again := RandomReferences(50, 110, 5)
+	for i := range refs {
+		if refs[i] != again[i] {
+			t.Fatal("RandomReferences not deterministic")
+		}
+	}
+	if RandomReferences(2, 10, 6)[0] == refs[0][:10] {
+		t.Log("different seed produced same prefix (unlikely but not fatal)")
+	}
+}
+
+func TestSimulatorFixedCoverage(t *testing.T) {
+	sim := Simulator{Channel: NewNaive("n", EqualMix(0.05)), Coverage: FixedCoverage(7)}
+	refs := RandomReferences(30, 60, 7)
+	ds := sim.Simulate("test", refs, 99)
+	if ds.NumClusters() != 30 {
+		t.Fatalf("clusters = %d", ds.NumClusters())
+	}
+	for i, c := range ds.Clusters {
+		if c.Coverage() != 7 {
+			t.Errorf("cluster %d coverage = %d", i, c.Coverage())
+		}
+		if c.Ref != refs[i] {
+			t.Errorf("cluster %d ref mismatch", i)
+		}
+		for _, read := range c.Reads {
+			if err := read.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestSimulatorDeterministicAcrossRuns(t *testing.T) {
+	sim := Simulator{Channel: NewNaive("n", EqualMix(0.08)), Coverage: NegBinCoverage{Mean: 10, Dispersion: 3}}
+	refs := RandomReferences(40, 80, 8)
+	a := sim.Simulate("a", refs, 123)
+	b := sim.Simulate("b", refs, 123)
+	for i := range a.Clusters {
+		if len(a.Clusters[i].Reads) != len(b.Clusters[i].Reads) {
+			t.Fatalf("cluster %d coverage differs", i)
+		}
+		for j := range a.Clusters[i].Reads {
+			if a.Clusters[i].Reads[j] != b.Clusters[i].Reads[j] {
+				t.Fatalf("cluster %d read %d differs", i, j)
+			}
+		}
+	}
+	c := sim.Simulate("c", refs, 124)
+	same := true
+	for i := range a.Clusters {
+		if len(a.Clusters[i].Reads) != len(c.Clusters[i].Reads) {
+			same = false
+			break
+		}
+		for j := range a.Clusters[i].Reads {
+			if a.Clusters[i].Reads[j] != c.Clusters[i].Reads[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestSimulatorCustomCoverage(t *testing.T) {
+	cov := CustomCoverage{3, 0, 5}
+	sim := Simulator{Channel: NewNaive("n", EqualMix(0.02)), Coverage: cov}
+	refs := RandomReferences(6, 40, 9)
+	ds := sim.Simulate("custom", refs, 5)
+	want := []int{3, 0, 5, 3, 0, 5} // wraps
+	for i, c := range ds.Clusters {
+		if c.Coverage() != want[i] {
+			t.Errorf("cluster %d coverage = %d, want %d", i, c.Coverage(), want[i])
+		}
+	}
+	if ds.Erasures() != 2 {
+		t.Errorf("erasures = %d, want 2", ds.Erasures())
+	}
+}
+
+func TestSimulatorPanicsWithoutParts(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	refs := RandomReferences(1, 10, 1)
+	mustPanic("no channel", func() {
+		Simulator{Coverage: FixedCoverage(1)}.Simulate("x", refs, 1)
+	})
+	mustPanic("no coverage", func() {
+		Simulator{Channel: NewNaive("n", EqualMix(0.01))}.Simulate("x", refs, 1)
+	})
+}
+
+func TestCoverageModels(t *testing.T) {
+	r := rng.New(10)
+	if FixedCoverage(5).Sample(0, r) != 5 {
+		t.Error("FixedCoverage")
+	}
+	if !strings.Contains(FixedCoverage(5).Name(), "5") {
+		t.Error("FixedCoverage name")
+	}
+	if (CustomCoverage{}).Sample(3, r) != 0 {
+		t.Error("empty CustomCoverage should be 0")
+	}
+	if CustomCoverage.Name(nil) != "custom" {
+		t.Error("CustomCoverage name")
+	}
+
+	nb := NegBinCoverage{Mean: 26.97, Dispersion: 2.5}
+	const n = 50000
+	sum := 0
+	zeros := 0
+	for i := 0; i < n; i++ {
+		v := nb.Sample(i, r)
+		if v < 0 {
+			t.Fatal("negative coverage")
+		}
+		if v == 0 {
+			zeros++
+		}
+		sum += v
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-26.97) > 0.5 {
+		t.Errorf("negbin mean = %v", mean)
+	}
+	if zeros == 0 {
+		t.Error("overdispersed negbin should produce some natural erasures")
+	}
+
+	p := PoissonCoverage(5)
+	sum = 0
+	for i := 0; i < n; i++ {
+		sum += p.Sample(i, r)
+	}
+	if math.Abs(float64(sum)/n-5) > 0.1 {
+		t.Errorf("poisson mean = %v", float64(sum)/n)
+	}
+
+	nc := NormalCoverage{Mean: 10, SD: 3}
+	sum = 0
+	for i := 0; i < n; i++ {
+		v := nc.Sample(i, r)
+		if v < 0 {
+			t.Fatal("negative normal coverage")
+		}
+		sum += v
+	}
+	if math.Abs(float64(sum)/n-10) > 0.2 {
+		t.Errorf("normal coverage mean = %v", float64(sum)/n)
+	}
+
+	ec := ErasureCoverage{Base: FixedCoverage(10), P: 0.2}
+	zeros = 0
+	for i := 0; i < n; i++ {
+		if ec.Sample(i, r) == 0 {
+			zeros++
+		}
+	}
+	if math.Abs(float64(zeros)/n-0.2) > 0.01 {
+		t.Errorf("erasure rate = %v", float64(zeros)/n)
+	}
+	for _, name := range []string{nb.Name(), p.Name(), nc.Name(), ec.Name()} {
+		if name == "" {
+			t.Error("empty coverage model name")
+		}
+	}
+}
+
+func TestSimulatorDescribe(t *testing.T) {
+	sim := Simulator{Channel: NewNaive("n", EqualMix(0.01)), Coverage: FixedCoverage(5)}
+	d := sim.Describe()
+	if !strings.Contains(d, "n") || !strings.Contains(d, "fixed(5)") {
+		t.Errorf("Describe = %q", d)
+	}
+}

@@ -1,0 +1,166 @@
+package channel
+
+import (
+	"strings"
+
+	"dnastore/internal/dist"
+	"dnastore/internal/dna"
+	"dnastore/internal/rng"
+)
+
+// Pipeline composes channels stage-by-stage: the output of stage k is the
+// input of stage k+1. This realises the paper's §4.2 recommendation — "an
+// ideal simulator should allow for a multi-stage, composable simulation
+// process" — with one stage per physical step (synthesis → PCR → storage →
+// sequencing) instead of a single aggregate error pass.
+type Pipeline struct {
+	// Label names the pipeline in tables.
+	Label string
+	// Stages are applied in order.
+	Stages []Channel
+}
+
+// Name implements Channel.
+func (p Pipeline) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	names := make([]string, len(p.Stages))
+	for i, s := range p.Stages {
+		names[i] = s.Name()
+	}
+	return strings.Join(names, "→")
+}
+
+// Transmit implements Channel.
+func (p Pipeline) Transmit(ref dna.Strand, r *rng.RNG) dna.Strand {
+	s := ref
+	for _, stage := range p.Stages {
+		s = stage.Transmit(s, r)
+	}
+	return s
+}
+
+// AggregateRate returns the approximate combined per-base error rate of all
+// stages (small-rate approximation: rates add).
+func (p Pipeline) AggregateRate() float64 {
+	total := 0.0
+	for _, s := range p.Stages {
+		if m, ok := s.(interface{ AggregateRate() float64 }); ok {
+			total += m.AggregateRate()
+		}
+	}
+	return total
+}
+
+// NewSynthesisStage models array-based synthesis: deletion-dominant errors
+// whose rate grows toward the 3' end of the strand (synthesis proceeds
+// base-by-base and late couplings fail more often — why strands longer than
+// ~200 bases are impractical, §1.2).
+func NewSynthesisStage(rate float64) *Model {
+	m := &Model{Label: "synthesis"}
+	r := Rates{Del: 0.7 * rate, Ins: 0.1 * rate, Sub: 0.2 * rate}
+	for b := range m.PerBase {
+		m.PerBase[b] = r
+	}
+	m.Spatial = dist.TerminalSkew{StartPositions: 0, EndPositions: 5, StartBoost: 1, EndBoost: 4}
+	return m
+}
+
+// NewPCRStage models polymerase-chain-reaction amplification: per-cycle
+// substitution errors that accumulate over the number of cycles; polymerase
+// virtually never introduces indels.
+func NewPCRStage(cycles int, perCycleSubRate float64) *Model {
+	if cycles < 0 {
+		cycles = 0
+	}
+	m := &Model{Label: "pcr"}
+	r := Rates{Sub: float64(cycles) * perCycleSubRate}
+	for b := range m.PerBase {
+		m.PerBase[b] = r
+	}
+	// Complementary-base misincorporation dominates: A↔G, C↔T transitions
+	// are far likelier than transversions (Heckel et al., §2.1).
+	m.SubMatrix = TransitionBiasedSubMatrix(0.8)
+	return m
+}
+
+// NewDecayStage models storage decay over the given duration: hydrolytic
+// damage that manifests as substitutions (deaminated bases misread) and
+// single-base deletions (abasic sites), proportional to storage time.
+func NewDecayStage(years, ratePerYear float64) *Model {
+	if years < 0 {
+		years = 0
+	}
+	m := &Model{Label: "storage"}
+	p := years * ratePerYear
+	r := Rates{Sub: 0.5 * p, Del: 0.5 * p}
+	for b := range m.PerBase {
+		m.PerBase[b] = r
+	}
+	return m
+}
+
+// NewSequencingStage models the sequencing read-out with the given rate
+// mix, terminal spatial skew and burst deletions — the Nanopore shape.
+func NewSequencingStage(rates Rates, longDel LongDeletion, spatial dist.Spatial) *Model {
+	m := &Model{Label: "sequencing", LongDel: longDel, Spatial: spatial}
+	for b := range m.PerBase {
+		m.PerBase[b] = rates
+	}
+	m.SubMatrix = TransitionBiasedSubMatrix(0.6)
+	return m
+}
+
+// TransitionBiasedSubMatrix builds a substitution confusion matrix where a
+// fraction `transition` of substitutions go to the chemically confusable
+// partner (A→G, G→A, C→T, T→C; p≈0.4 each direction in Heckel et al.'s
+// measurements) and the remainder splits evenly over the two transversions.
+func TransitionBiasedSubMatrix(transition float64) [dna.NumBases][dna.NumBases]float64 {
+	if transition < 0 {
+		transition = 0
+	}
+	if transition > 1 {
+		transition = 1
+	}
+	partner := map[dna.Base]dna.Base{dna.A: dna.G, dna.G: dna.A, dna.C: dna.T, dna.T: dna.C}
+	var mtx [dna.NumBases][dna.NumBases]float64
+	for b := dna.Base(0); b < dna.NumBases; b++ {
+		rest := (1 - transition) / 2
+		for c := dna.Base(0); c < dna.NumBases; c++ {
+			if c == b {
+				continue
+			}
+			if c == partner[b] {
+				mtx[b][c] = transition
+			} else {
+				mtx[b][c] = rest
+			}
+		}
+	}
+	return mtx
+}
+
+// NewStoragePipeline assembles the full four-stage pipeline with
+// representative rates. totalRate is split across stages roughly as the
+// literature attributes errors: sequencing dominates (~70%), synthesis is
+// second (~20%), PCR and decay are minor.
+func NewStoragePipeline(label string, totalRate float64, storageYears float64) Pipeline {
+	seqRate := 0.70 * totalRate
+	synthRate := 0.20 * totalRate
+	pcrRate := 0.05 * totalRate
+	decayRate := 0.05 * totalRate
+	var decayPerYear float64
+	if storageYears > 0 {
+		decayPerYear = decayRate / storageYears
+	}
+	return Pipeline{
+		Label: label,
+		Stages: []Channel{
+			NewSynthesisStage(synthRate),
+			NewPCRStage(30, pcrRate/30),
+			NewDecayStage(storageYears, decayPerYear),
+			NewSequencingStage(NanoporeMix(seqRate), PaperLongDeletion(), dist.NanoporeSkew()),
+		},
+	}
+}

@@ -1,0 +1,254 @@
+// Package cluster implements the clustering step of the DNA storage read
+// pipeline (§1.1.2, §3.1). The simulator's output is already grouped by
+// reference ("perfect" or pseudo-clustering); this package additionally
+// provides the *imperfect* regime: a shuffled, unlabeled read pool is
+// re-clustered by sequence similarity, introducing the characteristic
+// errors (fragmented and merged clusters) that a real pipeline's clustering
+// stage would.
+//
+// The clusterer is a greedy single-pass algorithm in the spirit of
+// Rashtchian et al. [18]: reads are bucketed by k-mer minimizer signatures
+// so that only plausible neighbours are compared, and a read joins the
+// first existing cluster whose representative is within a banded edit
+// distance threshold.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"dnastore/internal/align"
+	"dnastore/internal/dataset"
+	"dnastore/internal/dna"
+)
+
+// Config parameterises the greedy clusterer.
+type Config struct {
+	// K is the k-mer length for minimizer signatures (default 12).
+	K int
+	// Signatures is how many minimizers (smallest k-mer hashes) each read
+	// contributes to the bucket index (default 3).
+	Signatures int
+	// Threshold is the maximum edit distance between a read and a cluster
+	// representative for the read to join (default: 25% of read length).
+	Threshold int
+}
+
+func (c Config) k() int {
+	if c.K <= 0 {
+		return 10
+	}
+	return c.K
+}
+
+func (c Config) signatures() int {
+	if c.Signatures <= 0 {
+		return 6
+	}
+	return c.Signatures
+}
+
+func (c Config) threshold(readLen int) int {
+	if c.Threshold > 0 {
+		return c.Threshold
+	}
+	return readLen / 4
+}
+
+// GreedyIndices clusters the pool and returns the member indices of each
+// cluster, in pool order of first member. Reads shorter than the k-mer
+// length form singleton clusters.
+func GreedyIndices(pool []dna.Strand, cfg Config) [][]int {
+	type clusterRec struct {
+		rep     dna.Strand
+		members []int
+	}
+	var clusters []clusterRec
+	buckets := make(map[uint64][]int) // minimizer hash -> cluster ids
+	sigBuf := make([]uint64, 0, cfg.signatures())
+
+	for i, read := range pool {
+		sigs := minimizers(read, cfg.k(), cfg.signatures(), sigBuf[:0])
+		best := -1
+		bestDist := int(^uint(0) >> 1)
+		seen := map[int]bool{}
+		for _, s := range sigs {
+			for _, cid := range buckets[s] {
+				if seen[cid] {
+					continue
+				}
+				seen[cid] = true
+				rep := clusters[cid].rep
+				thr := cfg.threshold(read.Len())
+				if d, ok := align.DistanceAtMost(string(rep), string(read), thr); ok && d < bestDist {
+					best, bestDist = cid, d
+				}
+			}
+		}
+		if best >= 0 {
+			clusters[best].members = append(clusters[best].members, i)
+			// Register the new member's signatures too: later reads that
+			// share no minimizer with the representative can still find
+			// the cluster through this member.
+			for _, s := range sigs {
+				if !containsID(buckets[s], best) {
+					buckets[s] = append(buckets[s], best)
+				}
+			}
+			continue
+		}
+		cid := len(clusters)
+		clusters = append(clusters, clusterRec{rep: read, members: []int{i}})
+		for _, s := range sigs {
+			buckets[s] = append(buckets[s], cid)
+		}
+	}
+
+	out := make([][]int, len(clusters))
+	for i, c := range clusters {
+		out[i] = c.members
+	}
+	return out
+}
+
+// Greedy clusters the pool and returns the member reads of each cluster.
+func Greedy(pool []dna.Strand, cfg Config) [][]dna.Strand {
+	idx := GreedyIndices(pool, cfg)
+	out := make([][]dna.Strand, len(idx))
+	for i, members := range idx {
+		reads := make([]dna.Strand, len(members))
+		for j, m := range members {
+			reads[j] = pool[m]
+		}
+		out[i] = reads
+	}
+	return out
+}
+
+// minimizers returns the n smallest k-mer hashes of the strand (fewer when
+// the strand has fewer k-mers; the whole-strand hash when shorter than k).
+func minimizers(s dna.Strand, k, n int, buf []uint64) []uint64 {
+	if s.Len() < k {
+		return append(buf, hashBytes([]byte(s)))
+	}
+	hashes := make([]uint64, 0, s.Len()-k+1)
+	for i := 0; i+k <= s.Len(); i++ {
+		hashes = append(hashes, hashBytes([]byte(s[i:i+k])))
+	}
+	sort.Slice(hashes, func(a, b int) bool { return hashes[a] < hashes[b] })
+	// Deduplicate while collecting the n smallest.
+	var last uint64
+	for i, h := range hashes {
+		if i > 0 && h == last {
+			continue
+		}
+		buf = append(buf, h)
+		last = h
+		if len(buf) == n {
+			break
+		}
+	}
+	return buf
+}
+
+func containsID(ids []int, id int) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+func hashBytes(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// AssignToReferences maps unlabeled clusters back to reference strands for
+// evaluation: each cluster is assigned to the reference nearest to its
+// representative (first member); clusters beyond maxDist from every
+// reference are dropped; multiple clusters mapping to one reference are
+// merged. References attracting no cluster become erasures. The result is
+// a Dataset comparable against the perfect clustering.
+func AssignToReferences(clusters [][]dna.Strand, refs []dna.Strand, maxDist int) *dataset.Dataset {
+	ds := &dataset.Dataset{Name: "reclustered", Clusters: make([]dataset.Cluster, len(refs))}
+	for i, ref := range refs {
+		ds.Clusters[i].Ref = ref
+	}
+	// Bucket references by minimizer for fast nearest lookup.
+	cfg := Config{}
+	refBuckets := make(map[uint64][]int)
+	for i, ref := range refs {
+		for _, s := range minimizers(ref, cfg.k(), cfg.signatures(), nil) {
+			refBuckets[s] = append(refBuckets[s], i)
+		}
+	}
+	for _, members := range clusters {
+		if len(members) == 0 {
+			continue
+		}
+		rep := members[0]
+		best, bestDist := -1, maxDist+1
+		seen := map[int]bool{}
+		for _, s := range minimizers(rep, cfg.k(), cfg.signatures(), nil) {
+			for _, ri := range refBuckets[s] {
+				if seen[ri] {
+					continue
+				}
+				seen[ri] = true
+				if d, ok := align.DistanceAtMost(string(refs[ri]), string(rep), maxDist); ok && d < bestDist {
+					best, bestDist = ri, d
+				}
+			}
+		}
+		if best < 0 {
+			continue // junk cluster: not close to any reference
+		}
+		ds.Clusters[best].Reads = append(ds.Clusters[best].Reads, members...)
+	}
+	return ds
+}
+
+// Purity computes the weighted purity of a clustering against ground-truth
+// labels: for each cluster, the fraction of members sharing the cluster's
+// plurality label, weighted by cluster size. 1.0 is a perfect clustering.
+func Purity(clusters [][]int, labels []int) (float64, error) {
+	total, agree := 0, 0
+	for _, members := range clusters {
+		counts := map[int]int{}
+		for _, m := range members {
+			if m < 0 || m >= len(labels) {
+				return 0, fmt.Errorf("cluster: member index %d out of label range", m)
+			}
+			counts[labels[m]]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		total += len(members)
+		agree += best
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("cluster: empty clustering")
+	}
+	return float64(agree) / float64(total), nil
+}
+
+// LabeledPool flattens a dataset into a read pool with ground-truth labels
+// (the cluster index each read came from), optionally shuffled by the
+// caller afterwards. It is the standard input for clustering evaluation.
+func LabeledPool(ds *dataset.Dataset) (pool []dna.Strand, labels []int) {
+	for i, c := range ds.Clusters {
+		for _, r := range c.Reads {
+			pool = append(pool, r)
+			labels = append(labels, i)
+		}
+	}
+	return pool, labels
+}

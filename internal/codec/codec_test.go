@@ -1,0 +1,402 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"dnastore/internal/channel"
+	"dnastore/internal/dna"
+	"dnastore/internal/rng"
+)
+
+func codecs() []SequenceCodec {
+	return []SequenceCodec{Trivial2Bit{}, Rotation{}, GCBalanced{}, GCBalanced{BlockBytes: 3}}
+}
+
+func TestSequenceCodecRoundTripQuick(t *testing.T) {
+	for _, c := range codecs() {
+		c := c
+		f := func(data []byte) bool {
+			s := c.Encode(data)
+			if s.Validate() != nil {
+				return false
+			}
+			got, err := c.Decode(s)
+			if err != nil {
+				return false
+			}
+			if len(data) == 0 {
+				return len(got) == 0
+			}
+			return bytes.Equal(got, data)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestTrivial2BitKnownValues(t *testing.T) {
+	s := Trivial2Bit{}.Encode([]byte{0b00011011})
+	if s != "ACGT" {
+		t.Errorf("encode = %q, want ACGT", s)
+	}
+	if _, err := (Trivial2Bit{}).Decode("ACG"); err == nil {
+		t.Error("length not multiple of 4 accepted")
+	}
+	if _, err := (Trivial2Bit{}).Decode("ACGN"); err == nil {
+		t.Error("invalid base accepted")
+	}
+}
+
+func TestRotationNoHomopolymers(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 100; trial++ {
+		data := make([]byte, 1+r.Intn(60))
+		for i := range data {
+			data[i] = byte(r.Intn(256))
+		}
+		s := Rotation{}.Encode(data)
+		if s.MaxHomopolymerLen() > 1 {
+			t.Fatalf("rotation produced homopolymer: %q", s)
+		}
+	}
+}
+
+func TestRotationRejectsHomopolymer(t *testing.T) {
+	if _, err := (Rotation{}).Decode("CCGTAC"); err == nil {
+		t.Error("homopolymer input accepted")
+	}
+	if _, err := (Rotation{}).Decode("CGTAC"); err == nil {
+		t.Error("bad length accepted")
+	}
+}
+
+func TestRotationDensity(t *testing.T) {
+	if (Rotation{}).BitsPerBase() >= (Trivial2Bit{}).BitsPerBase() {
+		t.Error("rotation should be less dense than 2-bit")
+	}
+}
+
+func TestGCBalancedRatio(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 50; trial++ {
+		data := make([]byte, 64)
+		for i := range data {
+			// Adversarial: heavy GC content under the trivial mapping.
+			data[i] = 0b01100101 // C G C C
+		}
+		_ = trial
+		s := GCBalanced{}.Encode(data)
+		gc := s.GCRatio()
+		if gc < 0.40 || gc > 0.60 {
+			t.Fatalf("GC ratio %v out of [0.40, 0.60]", gc)
+		}
+		got, err := GCBalanced{}.Decode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("round trip failed")
+		}
+		data[0] = byte(r.Intn(256))
+	}
+}
+
+func TestGCBalancedRejectsBadFlag(t *testing.T) {
+	g := GCBalanced{BlockBytes: 1}
+	s := g.Encode([]byte{0x42})
+	bad := "C" + string(s[1:])
+	if _, err := g.Decode(dna.Strand(bad)); err == nil {
+		t.Error("invalid flag accepted")
+	}
+	if _, err := g.Decode("A"); err == nil {
+		t.Error("dangling flag accepted")
+	}
+}
+
+func TestArchiveRoundTripClean(t *testing.T) {
+	a := Archive{}
+	data := []byte("the quick brown fox jumps over the lazy dog, archived in DNA")
+	strands, err := a.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range strands {
+		if s.Len() != a.StrandLength() {
+			t.Fatalf("strand length %d != %d", s.Len(), a.StrandLength())
+		}
+	}
+	got, err := a.Decode(strands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestArchiveRoundTripCodecs(t *testing.T) {
+	for _, c := range codecs() {
+		a := Archive{Codec: c}
+		data := bytes.Repeat([]byte("payload!"), 20)
+		strands, err := a.Encode(data)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		got, err := a.Decode(strands)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%s: mismatch", c.Name())
+		}
+	}
+}
+
+func TestArchiveSurvivesErasures(t *testing.T) {
+	a := Archive{GroupData: 8, GroupParity: 3}
+	data := bytes.Repeat([]byte{0xAB, 0xCD, 0x01}, 40)
+	strands, err := a.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop up to GroupParity strands from the first group.
+	survivors := append([]dna.Strand(nil), strands...)
+	survivors = append(survivors[:2], survivors[5:]...) // drop 3 strands
+	got, err := a.Decode(survivors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("erasure recovery mismatch")
+	}
+}
+
+func TestArchiveSurvivesShuffleAndDuplicates(t *testing.T) {
+	a := Archive{}
+	data := bytes.Repeat([]byte("dna"), 50)
+	strands, _ := a.Encode(data)
+	r := rng.New(3)
+	pool := append([]dna.Strand(nil), strands...)
+	pool = append(pool, strands[0], strands[3]) // duplicates
+	r.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	got, err := a.Decode(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("shuffled decode mismatch")
+	}
+}
+
+func TestArchiveSurvivesSubstitutions(t *testing.T) {
+	// Per-strand RS parity (4 bytes → 2 byte errors) should absorb a
+	// couple of substituted bases per strand.
+	a := Archive{StrandParity: 6}
+	data := bytes.Repeat([]byte("resilience"), 10)
+	strands, _ := a.Encode(data)
+	r := rng.New(4)
+	corrupted := make([]dna.Strand, len(strands))
+	for i, s := range strands {
+		b := []byte(s)
+		for e := 0; e < 2; e++ {
+			p := r.Intn(len(b))
+			b[p] = dna.Base(r.Intn(dna.NumBases)).Byte()
+		}
+		corrupted[i] = dna.Strand(b)
+	}
+	got, err := a.Decode(corrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("substitution recovery mismatch")
+	}
+}
+
+func TestArchiveFailsBeyondRedundancy(t *testing.T) {
+	a := Archive{GroupData: 8, GroupParity: 2}
+	data := bytes.Repeat([]byte{7}, 200)
+	strands, _ := a.Encode(data)
+	if _, err := a.Decode(strands[4:]); err == nil {
+		t.Error("decode succeeded after losing 4 strands with parity 2")
+	}
+	if _, err := a.Decode(nil); err == nil {
+		t.Error("decode of nothing succeeded")
+	}
+	if _, err := a.Encode(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+}
+
+func TestDataChunkCount(t *testing.T) {
+	for _, n := range []int{1, 5, 16, 17, 160, 1000} {
+		gd, gp := 16, 4
+		total := n + ((n+gd-1)/gd)*gp
+		if got := dataChunkCount(total, gd, gp); got != n {
+			t.Errorf("dataChunkCount(%d) = %d, want %d", total, got, n)
+		}
+	}
+	if dataChunkCount(3, 16, 4) > 0 && dataChunkCount(3, 16, 4)+4 != 3 {
+		// 3 total strands is impossible with this layout (1 data → 5).
+		if dataChunkCount(3, 16, 4) != -1 {
+			t.Error("impossible total accepted")
+		}
+	}
+}
+
+func TestXORRoundTrip(t *testing.T) {
+	chunks := [][]byte{{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}}
+	enc, err := XOREncode(chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != 5+3 {
+		t.Fatalf("encoded %d chunks", len(enc))
+	}
+	// Lose one chunk per pair.
+	enc[0] = nil // member of pair 0
+	enc[3] = nil // member of pair 1
+	enc[7] = nil // parity of pair 2 (lone member 4)
+	if err := XORRecover(enc, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc[0], []byte{1, 2}) || !bytes.Equal(enc[3], []byte{7, 8}) {
+		t.Error("XOR recovery wrong")
+	}
+}
+
+func TestXORRecoverFailsTwoLosses(t *testing.T) {
+	chunks := [][]byte{{1}, {2}}
+	enc, _ := XOREncode(chunks)
+	enc[0], enc[1] = nil, nil
+	if err := XORRecover(enc, 2); err == nil {
+		t.Error("two losses in one pair recovered")
+	}
+}
+
+func TestXORErrors(t *testing.T) {
+	if _, err := XOREncode(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := XOREncode([][]byte{{1}, {2, 3}}); err == nil {
+		t.Error("ragged chunks accepted")
+	}
+	if err := XORRecover([][]byte{{1}}, 0); err == nil {
+		t.Error("bad nData accepted")
+	}
+	if err := XORRecover([][]byte{{1}, {2}}, 2); err == nil {
+		t.Error("bad layout accepted")
+	}
+}
+
+func TestGeneratePrimers(t *testing.T) {
+	r := rng.New(5)
+	cfg := PrimerConfig{}
+	lib, err := GeneratePrimers(8, cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib) != 8 {
+		t.Fatalf("got %d primers", len(lib))
+	}
+	for i, p := range lib {
+		if !cfg.Valid(p) {
+			t.Errorf("primer %d violates constraints: %q", i, p)
+		}
+		gc := p.GCRatio()
+		if gc < 0.45 || gc > 0.55 {
+			t.Errorf("primer %d GC = %v", i, gc)
+		}
+		if p.HasHomopolymerOver(2) {
+			t.Errorf("primer %d has homopolymer: %q", i, p)
+		}
+	}
+	if _, err := GeneratePrimers(0, cfg, r); err == nil {
+		t.Error("zero primers accepted")
+	}
+}
+
+func TestSelectAmplify(t *testing.T) {
+	r := rng.New(6)
+	lib, err := GeneratePrimers(2, PrimerConfig{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloadA := channel.RandomReferences(5, 60, 7)
+	payloadB := channel.RandomReferences(5, 60, 8)
+	pool := append(Tag(lib[0], payloadA), Tag(lib[1], payloadB)...)
+	got := SelectAmplify(pool, lib[0], 2)
+	if len(got) != 5 {
+		t.Fatalf("amplified %d strands, want 5", len(got))
+	}
+	for i, s := range got {
+		if s != payloadA[i] {
+			t.Errorf("strand %d corrupted by amplification", i)
+		}
+	}
+	// Noisy primer region still amplifies within the mismatch budget.
+	noisy := []byte(pool[0])
+	noisy[3] = 'A'
+	noisy[7] = 'C'
+	got = SelectAmplify([]dna.Strand{dna.Strand(noisy)}, lib[0], 2)
+	if len(got) > 1 {
+		t.Error("noisy primer over-amplified")
+	}
+	// Short reads are skipped.
+	if n := len(SelectAmplify([]dna.Strand{"ACG"}, lib[0], 2)); n != 0 {
+		t.Errorf("short read amplified (%d)", n)
+	}
+}
+
+func TestArchiveEndToEndThroughChannel(t *testing.T) {
+	// Encode → simulate a mild channel with coverage → reconstruct by
+	// majority → decode. The integration test for the whole pipeline.
+	a := Archive{StrandParity: 6, GroupData: 8, GroupParity: 4}
+	data := bytes.Repeat([]byte("end to end! "), 25)
+	strands, err := a.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := channel.Simulator{
+		Channel:  channel.NewNaive("mild", channel.Rates{Sub: 0.01}),
+		Coverage: channel.FixedCoverage(7),
+	}
+	ds := sim.Simulate("pipe", strands, 99)
+	recovered := make([]dna.Strand, len(ds.Clusters))
+	for i, c := range ds.Clusters {
+		// Substitution-only channel: plain per-position majority suffices.
+		recovered[i] = majorityVote(c.Reads, c.Ref.Len())
+	}
+	got, err := a.Decode(recovered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("end-to-end mismatch")
+	}
+}
+
+// majorityVote is a tiny local consensus to avoid importing recon (which
+// would create a cycle in the test dependency graph for coverage tools).
+func majorityVote(reads []dna.Strand, length int) dna.Strand {
+	out := make([]byte, 0, length)
+	for i := 0; i < length; i++ {
+		var counts [dna.NumBases]int
+		for _, r := range reads {
+			if i < r.Len() {
+				counts[r.At(i)]++
+			}
+		}
+		best, bestN := 0, -1
+		for b, n := range counts {
+			if n > bestN {
+				best, bestN = b, n
+			}
+		}
+		out = append(out, dna.Base(best).Byte())
+	}
+	return dna.Strand(out)
+}

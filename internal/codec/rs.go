@@ -1,0 +1,225 @@
+package codec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RS is a systematic Reed–Solomon code over GF(2⁸) with NSym parity
+// symbols per codeword. It corrects e erasures (positions known) and t
+// errors (positions unknown) whenever 2t + e <= NSym. Codewords are at
+// most 255 bytes long.
+type RS struct {
+	// NSym is the number of parity symbols appended to each message.
+	NSym int
+	gen  []byte
+}
+
+// ErrTooManyErrors reports an uncorrectable codeword.
+var ErrTooManyErrors = errors.New("codec: too many errors to correct")
+
+// NewRS builds a code with the given parity symbol count.
+func NewRS(nsym int) (*RS, error) {
+	if nsym <= 0 || nsym >= 255 {
+		return nil, fmt.Errorf("codec: parity symbol count %d out of (0,255)", nsym)
+	}
+	gen := []byte{1}
+	for i := 0; i < nsym; i++ {
+		gen = polyMul(gen, []byte{1, gfPow(2, i)})
+	}
+	return &RS{NSym: nsym, gen: gen}, nil
+}
+
+// MustRS is NewRS that panics on bad parameters, for static configuration.
+func MustRS(nsym int) *RS {
+	rs, err := NewRS(nsym)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+// Encode appends NSym parity bytes to msg and returns the codeword.
+// len(msg)+NSym must not exceed 255.
+func (rs *RS) Encode(msg []byte) ([]byte, error) {
+	if len(msg) == 0 {
+		return nil, fmt.Errorf("codec: empty message")
+	}
+	if len(msg)+rs.NSym > 255 {
+		return nil, fmt.Errorf("codec: codeword length %d exceeds 255", len(msg)+rs.NSym)
+	}
+	// Polynomial long division of msg·x^nsym by the generator.
+	rem := make([]byte, len(msg)+rs.NSym)
+	copy(rem, msg)
+	for i := 0; i < len(msg); i++ {
+		coef := rem[i]
+		if coef == 0 {
+			continue
+		}
+		for j := 1; j < len(rs.gen); j++ {
+			rem[i+j] ^= gfMul(rs.gen[j], coef)
+		}
+	}
+	out := make([]byte, len(msg)+rs.NSym)
+	copy(out, msg)
+	copy(out[len(msg):], rem[len(msg):])
+	return out, nil
+}
+
+// syndromes returns the NSym syndromes of the codeword; all zero means the
+// codeword is clean.
+func (rs *RS) syndromes(cw []byte) ([]byte, bool) {
+	synd := make([]byte, rs.NSym)
+	clean := true
+	for i := 0; i < rs.NSym; i++ {
+		synd[i] = polyEval(cw, gfPow(2, i))
+		if synd[i] != 0 {
+			clean = false
+		}
+	}
+	return synd, clean
+}
+
+// Decode corrects the codeword in place and returns the message part.
+// erasePos lists known-bad byte positions (0-based from codeword start);
+// unknown errors are located automatically. It fails with
+// ErrTooManyErrors when the errata exceed capacity.
+func (rs *RS) Decode(cw []byte, erasePos []int) ([]byte, error) {
+	if len(cw) <= rs.NSym {
+		return nil, fmt.Errorf("codec: codeword shorter than parity (%d <= %d)", len(cw), rs.NSym)
+	}
+	if len(cw) > 255 {
+		return nil, fmt.Errorf("codec: codeword length %d exceeds 255", len(cw))
+	}
+	if len(erasePos) > rs.NSym {
+		return nil, ErrTooManyErrors
+	}
+	for _, p := range erasePos {
+		if p < 0 || p >= len(cw) {
+			return nil, fmt.Errorf("codec: erasure position %d out of range", p)
+		}
+	}
+	synd, clean := rs.syndromes(cw)
+	if clean {
+		return cw[:len(cw)-rs.NSym], nil
+	}
+	// Erasure locator from the known positions.
+	eraseLoc := []byte{1}
+	for _, p := range erasePos {
+		x := gfPow(2, len(cw)-1-p)
+		eraseLoc = polyMul(eraseLoc, []byte{x, 1})
+	}
+	// Berlekamp–Massey seeded with the erasure locator finds the combined
+	// errata locator.
+	errLoc, err := rs.findErrataLocator(synd, eraseLoc, len(erasePos))
+	if err != nil {
+		return nil, err
+	}
+	pos, err := rs.findErrors(errLoc, len(cw))
+	if err != nil {
+		return nil, err
+	}
+	if err := rs.correctErrata(cw, synd, pos); err != nil {
+		return nil, err
+	}
+	if _, ok := rs.syndromes(cw); !ok {
+		return nil, ErrTooManyErrors
+	}
+	return cw[:len(cw)-rs.NSym], nil
+}
+
+// findErrataLocator runs Berlekamp–Massey seeded with the erasure locator.
+func (rs *RS) findErrataLocator(synd, eraseLoc []byte, eraseCount int) ([]byte, error) {
+	errLoc := append([]byte(nil), eraseLoc...)
+	oldLoc := append([]byte(nil), eraseLoc...)
+	for i := 0; i < rs.NSym-eraseCount; i++ {
+		k := i + eraseCount
+		// Discrepancy: delta = S_k + Σ_j Λ_j·S_{k−j} (syndromes are stored
+		// little-endian, S_0 first; the locator is big-endian).
+		delta := synd[k]
+		for j := 1; j < len(errLoc); j++ {
+			if k-j >= 0 {
+				delta ^= gfMul(errLoc[len(errLoc)-1-j], synd[k-j])
+			}
+		}
+		oldLoc = append(oldLoc, 0)
+		if delta != 0 {
+			if len(oldLoc) > len(errLoc) {
+				newLoc := polyScale(oldLoc, delta)
+				oldLoc = polyScale(errLoc, gfInv(delta))
+				errLoc = newLoc
+			}
+			errLoc = polyAdd(errLoc, polyScale(oldLoc, delta))
+		}
+	}
+	// Trim leading zeros.
+	for len(errLoc) > 0 && errLoc[0] == 0 {
+		errLoc = errLoc[1:]
+	}
+	errCount := len(errLoc) - 1
+	if errCount*2-eraseCount > rs.NSym {
+		return nil, ErrTooManyErrors
+	}
+	return errLoc, nil
+}
+
+// findErrors locates errata positions by Chien search over the locator.
+func (rs *RS) findErrors(errLoc []byte, n int) ([]int, error) {
+	errCount := len(errLoc) - 1
+	var pos []int
+	// The locator Λ(x) = Π(1 + X_k·x) has roots at X_k⁻¹ with
+	// X_k = α^(n-1-p); evaluate at α^(-i) so coefficient position i is a
+	// hit exactly when Λ's root matches it.
+	for i := 0; i < n; i++ {
+		if polyEval(errLoc, gfInv(gfPow(2, i))) == 0 {
+			pos = append(pos, n-1-i)
+		}
+	}
+	if len(pos) != errCount {
+		return nil, ErrTooManyErrors
+	}
+	return pos, nil
+}
+
+// correctErrata applies Forney's algorithm at the given positions.
+func (rs *RS) correctErrata(cw, synd []byte, pos []int) error {
+	// Errata locator from the confirmed positions.
+	loc := []byte{1}
+	n := len(cw)
+	for _, p := range pos {
+		x := gfPow(2, n-1-p)
+		loc = polyMul(loc, []byte{x, 1})
+	}
+	// Errata evaluator Ω(x) = S(x)·Λ(x) mod x^nsym, with syndromes as a
+	// big-endian polynomial S_{nsym-1}..S_0.
+	syndPoly := make([]byte, len(synd))
+	for i, s := range synd {
+		syndPoly[len(synd)-1-i] = s
+	}
+	omega := polyMul(syndPoly, loc)
+	if len(omega) > rs.NSym {
+		omega = omega[len(omega)-rs.NSym:]
+	}
+	// Formal derivative of the locator: keep odd-power coefficients.
+	for _, p := range pos {
+		xInv := gfInv(gfPow(2, n-1-p))
+		// Λ'(x) evaluated via the product over other roots.
+		var denom byte = 1
+		for _, q := range pos {
+			if q == p {
+				continue
+			}
+			xq := gfPow(2, n-1-q)
+			denom = gfMul(denom, 1^gfMul(xInv, xq))
+		}
+		if denom == 0 {
+			return ErrTooManyErrors
+		}
+		// Forney with the product-form denominator: the magnitude is
+		// Ω(X⁻¹) / Π_{j≠i}(1 ⊕ X⁻¹X_j); the usual X factor of Λ'(X⁻¹) is
+		// already absorbed by the product form.
+		magnitude := gfDiv(polyEval(omega, xInv), denom)
+		cw[p] ^= magnitude
+	}
+	return nil
+}

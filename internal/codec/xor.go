@@ -1,0 +1,91 @@
+package codec
+
+import "fmt"
+
+// XOR parity is the lightweight logical redundancy of Bornholt et al. [4]:
+// for every pair of data chunks (A, B) a third chunk A⊕B is stored, so any
+// one of the three can be recovered from the other two. It trades lower
+// density (1.5× expansion) for much cheaper decoding than Reed–Solomon.
+
+// XOREncode appends one parity chunk per pair of data chunks. Chunks must
+// share one length. With an odd chunk count the final chunk is paired with
+// a zero chunk (its parity is a copy).
+func XOREncode(chunks [][]byte) ([][]byte, error) {
+	if len(chunks) == 0 {
+		return nil, fmt.Errorf("codec: no chunks to encode")
+	}
+	size := len(chunks[0])
+	for i, c := range chunks {
+		if len(c) != size {
+			return nil, fmt.Errorf("codec: chunk %d length %d != %d", i, len(c), size)
+		}
+	}
+	out := make([][]byte, 0, len(chunks)+(len(chunks)+1)/2)
+	out = append(out, chunks...)
+	for i := 0; i < len(chunks); i += 2 {
+		parity := make([]byte, size)
+		copy(parity, chunks[i])
+		if i+1 < len(chunks) {
+			for j := range parity {
+				parity[j] ^= chunks[i+1][j]
+			}
+		}
+		out = append(out, parity)
+	}
+	return out, nil
+}
+
+// XORRecover reconstructs missing chunks in place. chunks must have the
+// layout produced by XOREncode for nData data chunks: data first, then one
+// parity per pair. A nil entry marks a missing chunk. Recovery fails when
+// both members of a pair and their parity are missing, or when a pair lost
+// two of its three chunks.
+func XORRecover(chunks [][]byte, nData int) error {
+	if nData <= 0 || nData > len(chunks) {
+		return fmt.Errorf("codec: invalid data chunk count %d", nData)
+	}
+	nParity := (nData + 1) / 2
+	if len(chunks) != nData+nParity {
+		return fmt.Errorf("codec: chunk count %d does not match layout for %d data chunks", len(chunks), nData)
+	}
+	xorInto := func(dst, src []byte) {
+		for j := range dst {
+			dst[j] ^= src[j]
+		}
+	}
+	for pair := 0; pair < nParity; pair++ {
+		a := pair * 2
+		b := a + 1
+		p := nData + pair
+		members := []int{a}
+		if b < nData {
+			members = append(members, b)
+		}
+		missing := make([]int, 0, 3)
+		var size int
+		for _, idx := range append(members, p) {
+			if chunks[idx] == nil {
+				missing = append(missing, idx)
+			} else {
+				size = len(chunks[idx])
+			}
+		}
+		switch len(missing) {
+		case 0:
+			continue
+		case 1:
+			idx := missing[0]
+			rec := make([]byte, size)
+			for _, other := range append(members, p) {
+				if other != idx {
+					xorInto(rec, chunks[other])
+				}
+			}
+			// A lone member paired with the zero chunk: parity is a copy.
+			chunks[idx] = rec
+		default:
+			return fmt.Errorf("codec: pair %d lost %d chunks, XOR parity covers 1", pair, len(missing))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,295 @@
+package dna
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBaseRoundTrip(t *testing.T) {
+	for _, c := range []byte{'A', 'C', 'G', 'T'} {
+		b, err := BaseFromByte(c)
+		if err != nil {
+			t.Fatalf("BaseFromByte(%q): %v", c, err)
+		}
+		if b.Byte() != c {
+			t.Errorf("round trip %q -> %v -> %q", c, b, b.Byte())
+		}
+	}
+}
+
+func TestBaseFromByteLowercase(t *testing.T) {
+	for _, pair := range []struct {
+		lower, upper byte
+	}{{'a', 'A'}, {'c', 'C'}, {'g', 'G'}, {'t', 'T'}} {
+		b, err := BaseFromByte(pair.lower)
+		if err != nil {
+			t.Fatalf("BaseFromByte(%q): %v", pair.lower, err)
+		}
+		if b.Byte() != pair.upper {
+			t.Errorf("BaseFromByte(%q) = %v, want %q", pair.lower, b, pair.upper)
+		}
+	}
+}
+
+func TestBaseFromByteInvalid(t *testing.T) {
+	for _, c := range []byte{'N', 'X', ' ', 0, '5'} {
+		if _, err := BaseFromByte(c); err == nil {
+			t.Errorf("BaseFromByte(%q): want error", c)
+		}
+	}
+}
+
+func TestMustBasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBase('N') did not panic")
+		}
+	}()
+	MustBase('N')
+}
+
+func TestBaseComplement(t *testing.T) {
+	want := map[Base]Base{A: T, T: A, C: G, G: C}
+	for b, w := range want {
+		if got := b.Complement(); got != w {
+			t.Errorf("%v.Complement() = %v, want %v", b, got, w)
+		}
+	}
+}
+
+func TestComplementIsInvolution(t *testing.T) {
+	for b := Base(0); b < NumBases; b++ {
+		if b.Complement().Complement() != b {
+			t.Errorf("complement not involutive for %v", b)
+		}
+	}
+}
+
+func TestStrandValidate(t *testing.T) {
+	cases := []struct {
+		s  Strand
+		ok bool
+	}{
+		{"", true},
+		{"ACGT", true},
+		{"AAAA", true},
+		{"ACGU", false},
+		{"AC GT", false},
+		{"acgt", true},
+	}
+	for _, c := range cases {
+		err := c.s.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%q) = %v, want ok=%v", c.s, err, c.ok)
+		}
+	}
+}
+
+func TestStrandAtAndBases(t *testing.T) {
+	s := Strand("ACGT")
+	want := []Base{A, C, G, T}
+	for i, w := range want {
+		if s.At(i) != w {
+			t.Errorf("At(%d) = %v, want %v", i, s.At(i), w)
+		}
+	}
+	got := s.Bases()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Bases()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFromBasesRoundTrip(t *testing.T) {
+	s := Strand("GATTACA")
+	if got := FromBases(s.Bases()); got != s {
+		t.Errorf("FromBases(Bases()) = %q, want %q", got, s)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	if got := Strand("ACGT").Reverse(); got != "TGCA" {
+		t.Errorf("Reverse = %q, want TGCA", got)
+	}
+	if got := Strand("").Reverse(); got != "" {
+		t.Errorf("Reverse empty = %q", got)
+	}
+}
+
+func TestReverseComplement(t *testing.T) {
+	if got := Strand("AACG").ReverseComplement(); got != "CGTT" {
+		t.Errorf("ReverseComplement = %q, want CGTT", got)
+	}
+}
+
+func TestReverseIsInvolutionQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		bs := make([]Base, len(raw))
+		for i, r := range raw {
+			bs[i] = Base(r % NumBases)
+		}
+		s := FromBases(bs)
+		return s.Reverse().Reverse() == s && s.ReverseComplement().ReverseComplement() == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGCRatio(t *testing.T) {
+	cases := []struct {
+		s    Strand
+		want float64
+	}{
+		{"", 0},
+		{"AT", 0},
+		{"GC", 1},
+		{"ACGT", 0.5},
+		{"GGGA", 0.75},
+	}
+	for _, c := range cases {
+		if got := c.s.GCRatio(); got != c.want {
+			t.Errorf("GCRatio(%q) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	s := Strand("AACGTA")
+	if got := s.Count(A); got != 3 {
+		t.Errorf("Count(A) = %d, want 3", got)
+	}
+	if got := s.Count(G); got != 1 {
+		t.Errorf("Count(G) = %d, want 1", got)
+	}
+}
+
+func TestHomopolymers(t *testing.T) {
+	s := Strand("AAACGGGGTC")
+	runs := s.Homopolymers(2)
+	if len(runs) != 2 {
+		t.Fatalf("got %d runs, want 2: %+v", len(runs), runs)
+	}
+	if runs[0] != (Homopolymer{Pos: 0, Len: 3, Base: A}) {
+		t.Errorf("run[0] = %+v", runs[0])
+	}
+	if runs[1] != (Homopolymer{Pos: 4, Len: 4, Base: G}) {
+		t.Errorf("run[1] = %+v", runs[1])
+	}
+}
+
+func TestHomopolymersMinLenOne(t *testing.T) {
+	s := Strand("ACG")
+	runs := s.Homopolymers(0) // clamped to 1
+	if len(runs) != 3 {
+		t.Fatalf("got %d runs, want 3", len(runs))
+	}
+	total := 0
+	for _, r := range runs {
+		total += r.Len
+	}
+	if total != s.Len() {
+		t.Errorf("runs cover %d bases, want %d", total, s.Len())
+	}
+}
+
+func TestMaxHomopolymerLen(t *testing.T) {
+	cases := []struct {
+		s    Strand
+		want int
+	}{
+		{"", 0},
+		{"A", 1},
+		{"ACGT", 1},
+		{"AATTTT", 4},
+		{"TTTTAA", 4},
+	}
+	for _, c := range cases {
+		if got := c.s.MaxHomopolymerLen(); got != c.want {
+			t.Errorf("MaxHomopolymerLen(%q) = %d, want %d", c.s, got, c.want)
+		}
+	}
+	if !Strand("AAA").HasHomopolymerOver(2) {
+		t.Error("AAA should have homopolymer over 2")
+	}
+	if Strand("AAA").HasHomopolymerOver(3) {
+		t.Error("AAA should not have homopolymer over 3")
+	}
+}
+
+func TestHomopolymersCoverStrandQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		bs := make([]Base, len(raw))
+		for i, r := range raw {
+			bs[i] = Base(r % NumBases)
+		}
+		s := FromBases(bs)
+		runs := s.Homopolymers(1)
+		total := 0
+		prevEnd := 0
+		for _, r := range runs {
+			if r.Pos != prevEnd {
+				return false // runs must be contiguous
+			}
+			total += r.Len
+			prevEnd = r.Pos + r.Len
+			// every byte inside the run must equal the run base
+			for i := r.Pos; i < r.Pos+r.Len; i++ {
+				if s.At(i) != r.Base {
+					return false
+				}
+			}
+		}
+		return total == s.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKmerCounts(t *testing.T) {
+	s := Strand("AAAT")
+	counts := s.KmerCounts(2)
+	if counts["AA"] != 2 || counts["AT"] != 1 {
+		t.Errorf("KmerCounts = %v", counts)
+	}
+	if len(s.KmerCounts(0)) != 0 {
+		t.Error("KmerCounts(0) should be empty")
+	}
+	if len(s.KmerCounts(5)) != 0 {
+		t.Error("KmerCounts(k>len) should be empty")
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	if got := Repeat(G, 4); got != "GGGG" {
+		t.Errorf("Repeat(G,4) = %q", got)
+	}
+	if got := Repeat(A, 0); got != "" {
+		t.Errorf("Repeat(A,0) = %q", got)
+	}
+}
+
+func TestStrandAtPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("At on invalid base did not panic")
+		}
+	}()
+	Strand("N").At(0)
+}
+
+func TestComplementStrand(t *testing.T) {
+	if got := Strand("ACGT").Complement(); got != "TGCA" {
+		t.Errorf("Complement = %q, want TGCA", got)
+	}
+}
+
+func TestStrandStringsAreComparable(t *testing.T) {
+	m := map[Strand]int{"ACG": 1}
+	if m[Strand(strings.Clone("ACG"))] != 1 {
+		t.Error("strand map lookup failed")
+	}
+}

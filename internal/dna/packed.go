@@ -1,0 +1,77 @@
+package dna
+
+import "fmt"
+
+// Packed is a 2-bit-per-base compressed strand representation: four bases
+// per byte. Large pools (a full 10,000 × 110 dataset holds ~30 M read
+// bases) shrink 4× in memory, at the cost of per-base unpacking. Packed
+// values are immutable once built.
+type Packed struct {
+	bits []byte
+	n    int
+}
+
+// Pack compresses a strand. It panics on invalid bases; Validate untrusted
+// input first.
+func Pack(s Strand) Packed {
+	bits := make([]byte, (s.Len()+3)/4)
+	for i := 0; i < s.Len(); i++ {
+		b := s.At(i)
+		bits[i/4] |= byte(b) << uint((i%4)*2)
+	}
+	return Packed{bits: bits, n: s.Len()}
+}
+
+// Len returns the number of bases.
+func (p Packed) Len() int { return p.n }
+
+// At returns the base at position i; it panics when out of range.
+func (p Packed) At(i int) Base {
+	if i < 0 || i >= p.n {
+		panic(fmt.Sprintf("dna: packed index %d out of range [0,%d)", i, p.n))
+	}
+	return Base(p.bits[i/4]>>uint((i%4)*2)) & 3
+}
+
+// Unpack expands back to the string representation.
+func (p Packed) Unpack() Strand {
+	out := make([]byte, p.n)
+	for i := 0; i < p.n; i++ {
+		out[i] = p.At(i).Byte()
+	}
+	return Strand(out)
+}
+
+// Equal reports whether two packed strands hold the same sequence.
+func (p Packed) Equal(q Packed) bool {
+	if p.n != q.n {
+		return false
+	}
+	full := p.n / 4
+	for i := 0; i < full; i++ {
+		if p.bits[i] != q.bits[i] {
+			return false
+		}
+	}
+	// Compare the ragged tail base-by-base (trailing bits may differ
+	// only if built from differing inputs, but mask anyway for safety).
+	for i := full * 4; i < p.n; i++ {
+		if p.At(i) != q.At(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// PackAll compresses a batch of strands.
+func PackAll(strands []Strand) []Packed {
+	out := make([]Packed, len(strands))
+	for i, s := range strands {
+		out[i] = Pack(s)
+	}
+	return out
+}
+
+// MemoryBytes returns the approximate heap bytes held by the packed
+// sequence data.
+func (p Packed) MemoryBytes() int { return len(p.bits) }

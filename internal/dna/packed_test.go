@@ -1,0 +1,82 @@
+package dna
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPackRoundTripQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		bs := make([]Base, len(raw))
+		for i, r := range raw {
+			bs[i] = Base(r % NumBases)
+		}
+		s := FromBases(bs)
+		p := Pack(s)
+		if p.Len() != s.Len() {
+			return false
+		}
+		for i := 0; i < s.Len(); i++ {
+			if p.At(i) != s.At(i) {
+				return false
+			}
+		}
+		return p.Unpack() == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackMemory(t *testing.T) {
+	s := Strand("ACGTACGTACGTACGT") // 16 bases
+	p := Pack(s)
+	if p.MemoryBytes() != 4 {
+		t.Errorf("16 bases pack to %d bytes, want 4", p.MemoryBytes())
+	}
+	// Ragged length.
+	if Pack(Strand("ACGTA")).MemoryBytes() != 2 {
+		t.Errorf("5 bases pack to %d bytes, want 2", Pack(Strand("ACGTA")).MemoryBytes())
+	}
+	if Pack("").MemoryBytes() != 0 {
+		t.Error("empty strand should pack to 0 bytes")
+	}
+}
+
+func TestPackedEqual(t *testing.T) {
+	a := Pack("ACGTACG")
+	b := Pack("ACGTACG")
+	c := Pack("ACGTACC")
+	d := Pack("ACGTAC")
+	if !a.Equal(b) {
+		t.Error("equal sequences not Equal")
+	}
+	if a.Equal(c) {
+		t.Error("different content Equal")
+	}
+	if a.Equal(d) {
+		t.Error("different length Equal")
+	}
+}
+
+func TestPackedAtPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on out-of-range At")
+		}
+	}()
+	Pack("ACG").At(3)
+}
+
+func TestPackAll(t *testing.T) {
+	strands := []Strand{"A", "ACGT", ""}
+	packed := PackAll(strands)
+	if len(packed) != 3 {
+		t.Fatalf("got %d", len(packed))
+	}
+	for i := range strands {
+		if packed[i].Unpack() != strands[i] {
+			t.Errorf("strand %d corrupted", i)
+		}
+	}
+}

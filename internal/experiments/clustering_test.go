@@ -1,0 +1,78 @@
+package experiments
+
+import "testing"
+
+func TestExtClustering(t *testing.T) {
+	wb := testWorkbench(t)
+	tab, err := ExtClustering(wb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("got %d rows", len(tab.Rows))
+	}
+	// Re-clustering should stay high-purity and lose only a few points of
+	// accuracy vs perfect clustering.
+	purity := cell(t, tab, 1, 1)
+	if purity < 0.90 {
+		t.Errorf("re-clustering purity %.3f too low", purity)
+	}
+	perfect := cell(t, tab, 0, 4)
+	reclustered := cell(t, tab, 1, 4)
+	if reclustered > perfect+1 {
+		t.Errorf("re-clustered accuracy %.2f above perfect %.2f?", reclustered, perfect)
+	}
+	if reclustered < perfect-25 {
+		t.Errorf("re-clustering lost too much accuracy: %.2f vs %.2f", reclustered, perfect)
+	}
+}
+
+func TestExtErrorScale(t *testing.T) {
+	tab, err := ExtErrorScale(Scale{Clusters: 250, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("got %d rows", len(tab.Rows))
+	}
+	for i := range tab.Rows {
+		// The fitted aggregate tracks the true rate (within the long-del
+		// inflation margin).
+		truth := cell(t, tab, i, 0)
+		fitted := cell(t, tab, i, 1)
+		if fitted < truth*0.9 || fitted > truth*1.25 {
+			t.Errorf("row %d: fitted %.4f far from truth %.4f", i, fitted, truth)
+		}
+		// The calibrated simulator stays optimistic (positive gap) but
+		// within a modest band at every regime.
+		gap := cell(t, tab, i, 4)
+		if gap < -8 || gap > 30 {
+			t.Errorf("row %d: gap %.2f pp out of range", i, gap)
+		}
+	}
+}
+
+func TestExtHoldout(t *testing.T) {
+	wb := testWorkbench(t)
+	tab, err := ExtHoldout(wb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("got %d rows", len(tab.Rows))
+	}
+	// The held-out calibration's gap must be close to the in-sample gap:
+	// matching gaps mean the fit captures channel structure, not strands.
+	heldOut := cell(t, tab, 1, 4)
+	inSample := cell(t, tab, 2, 4)
+	if d := heldOut - inSample; d < -6 || d > 6 {
+		t.Errorf("held-out gap %.2f differs from in-sample gap %.2f by %.2f pp", heldOut, inSample, d)
+	}
+	// Both fitted aggregates land near the wetlab rate.
+	for _, row := range []int{1, 2} {
+		agg := cell(t, tab, row, 1)
+		if agg < 0.05 || agg > 0.08 {
+			t.Errorf("row %d fitted aggregate %.4f out of range", row, agg)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dnastore/internal/channel"
+	"dnastore/internal/dataset"
+	"dnastore/internal/dna"
+	"dnastore/internal/metrics"
+	"dnastore/internal/recon"
+)
+
+// positionAxis builds the shared x axis 0..length.
+func positionAxis(length int) []float64 {
+	x := make([]float64, length+1)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	return x
+}
+
+// clustersOf adapts a dataset to the profile helpers.
+func clustersOf(ds *dataset.Dataset) (refs []dna.Strand, reads [][]dna.Strand) {
+	refs = ds.References()
+	reads = make([][]dna.Strand, len(ds.Clusters))
+	for i, c := range ds.Clusters {
+		reads[i] = c.Reads
+	}
+	return refs, reads
+}
+
+// Figure32 reproduces Fig 3.2: the pre-reconstruction noise profile of
+// the real Nanopore data — Hamming errors per read position (linear
+// growth from error propagation) and gestalt-aligned errors (terminal
+// concentration, end ≈ 2× start).
+func Figure32(wb *Workbench) Series {
+	length := wb.Profile.StrandLen
+	refs, reads := clustersOf(wb.Real)
+	h := metrics.ClusterHammingProfile(refs, reads, length)
+	g := metrics.ClusterGestaltProfile(refs, reads, length)
+	return Series{
+		ID:     "fig3.2",
+		Title:  "Noise in Nanopore dataset before reconstruction (errors per read)",
+		XLabel: "position",
+		X:      positionAxis(length),
+		Columns: []SeriesColumn{
+			{Label: "hamming", Y: h.Rates()},
+			{Label: "gestalt-aligned", Y: g.Rates()},
+		},
+	}
+}
+
+// Figure33 reproduces Fig 3.3: Iterative reconstruction accuracy on the
+// real data at coverages 1–10 using the §3.2 prefix-subsampling protocol.
+func Figure33(wb *Workbench) (Series, error) {
+	s := Series{
+		ID:     "fig3.3",
+		Title:  "Accuracy of Iterative reconstruction at N = 1..10",
+		XLabel: "coverage",
+	}
+	var perStrand, perChar []float64
+	for n := 1; n <= 10; n++ {
+		ds, err := wb.FixedCoverage(n, 10)
+		if err != nil {
+			return Series{}, err
+		}
+		ps, pc := reconstructAccuracy(recon.NewIterative(), ds)
+		s.X = append(s.X, float64(n))
+		perStrand = append(perStrand, ps)
+		perChar = append(perChar, pc)
+	}
+	s.Columns = []SeriesColumn{
+		{Label: "per-strand %", Y: perStrand},
+		{Label: "per-char %", Y: perChar},
+	}
+	return s, nil
+}
+
+// postReconProfiles runs the given algorithms on a dataset and returns the
+// Hamming and gestalt-aligned profiles of their outputs.
+func postReconProfiles(ds *dataset.Dataset, length int, algs []recon.Reconstructor) []SeriesColumn {
+	var cols []SeriesColumn
+	refs := ds.References()
+	for _, alg := range algs {
+		out := recon.ReconstructDataset(alg, ds)
+		h := metrics.HammingProfile(refs, out, length)
+		g := metrics.GestaltProfile(refs, out, length)
+		cols = append(cols,
+			SeriesColumn{Label: alg.Name() + " hamming", Y: h.Rates()},
+			SeriesColumn{Label: alg.Name() + " gestalt", Y: g.Rates()},
+		)
+	}
+	return cols
+}
+
+// Figure34 reproduces Fig 3.4 (and appendix C.1): post-reconstruction
+// error-position profiles of BMA and Iterative on the real data at the
+// given coverage (the paper shows N=5 and N=6).
+func Figure34(wb *Workbench, n int) (Series, error) {
+	ds, err := wb.FixedCoverage(n, 10)
+	if err != nil {
+		return Series{}, err
+	}
+	length := wb.Profile.StrandLen
+	return Series{
+		ID:      fmt.Sprintf("fig3.4(N=%d)", n),
+		Title:   fmt.Sprintf("Post-reconstruction analysis of Nanopore data at N = %d", n),
+		XLabel:  "position",
+		X:       positionAxis(length),
+		Columns: postReconProfiles(ds, length, []recon.Reconstructor{recon.NewIterative(), recon.NewBMA()}),
+	}, nil
+}
+
+// Figure35 reproduces Fig 3.5 (and appendix C.2): post-reconstruction
+// profiles of the spatially-skewed simulator tier at the given coverage.
+func Figure35(wb *Workbench, n int) Series {
+	tier := wb.Profile.SkewedModel("skew-tier")
+	sim := channel.Simulator{Channel: tier, Coverage: channel.FixedCoverage(n)}.
+		Simulate("skewed-sim", wb.Real.References(), wb.Scale.Seed+400+uint64(n))
+	length := wb.Profile.StrandLen
+	return Series{
+		ID:      fmt.Sprintf("fig3.5(N=%d)", n),
+		Title:   fmt.Sprintf("Post-reconstruction analysis of simulated data with skew at N = %d", n),
+		XLabel:  "position",
+		X:       positionAxis(length),
+		Columns: postReconProfiles(sim, length, []recon.Reconstructor{recon.NewIterative(), recon.NewBMA()}),
+	}
+}
+
+// Figure36Table reproduces the tabular half of Fig 3.6: the ten most
+// common second-order errors with their share of all errors.
+func Figure36Table(wb *Workbench) Table {
+	t := Table{
+		ID:      "fig3.6",
+		Title:   "Most common second-order errors in Nanopore data",
+		Headers: []string{"Rank", "Error", "Count", "Share of errors (%)"},
+	}
+	total := wb.Profile.SubCount + wb.Profile.InsCount + wb.Profile.DelCount
+	for i, s := range wb.Profile.TopSecondOrder(10) {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(s.Count) / float64(total)
+		}
+		e := channel.SecondOrderError{Kind: s.Kind, From: s.From, To: s.To}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", i+1), e.String(), fmt.Sprintf("%d", s.Count), pct(share),
+		})
+	}
+	t.Rows = append(t.Rows, []string{"", "top-10 combined", "", pct(100 * wb.Profile.SecondOrderShare(10))})
+	return t
+}
+
+// Figure36Spatial reproduces the spatial half of Fig 3.6: per-position
+// histograms of the top second-order errors, showing their individual
+// terminal skews.
+func Figure36Spatial(wb *Workbench, topK int) Series {
+	s := Series{
+		ID:     "fig3.6-spatial",
+		Title:  "Spatial distribution of top second-order errors",
+		XLabel: "position",
+		X:      positionAxis(wb.Profile.StrandLen),
+	}
+	for _, stat := range wb.Profile.TopSecondOrder(topK) {
+		e := channel.SecondOrderError{Kind: stat.Kind, From: stat.From, To: stat.To}
+		s.Columns = append(s.Columns, SeriesColumn{Label: e.String(), Y: stat.Spatial})
+	}
+	return s
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment artifact mirroring one of the paper's
+// tables: a title, column headers and string rows.
+type Table struct {
+	// ID is the experiment identifier ("table2.1", "fig3.3", ...).
+	ID string
+	// Title is the paper's caption.
+	Title string
+	// Headers name the columns.
+	Headers []string
+	// Rows hold the cells, row-major.
+	Rows [][]string
+}
+
+// Render returns the table as aligned text.
+func (t Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// CSV returns the table as comma-separated values (cells with commas are
+// quoted).
+func (t Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			sb.WriteString(c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Series is a rendered figure: one shared X column and named Y columns.
+type Series struct {
+	// ID is the experiment identifier.
+	ID string
+	// Title is the paper's caption.
+	Title string
+	// XLabel names the x axis; X holds its values.
+	XLabel string
+	X      []float64
+	// Columns hold one y-vector per named curve.
+	Columns []SeriesColumn
+}
+
+// SeriesColumn is one named curve of a Series.
+type SeriesColumn struct {
+	Label string
+	Y     []float64
+}
+
+// CSV renders the series as comma-separated values with the x column
+// first.
+func (s Series) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(s.XLabel)
+	for _, c := range s.Columns {
+		sb.WriteByte(',')
+		sb.WriteString(c.Label)
+	}
+	sb.WriteByte('\n')
+	for i, x := range s.X {
+		fmt.Fprintf(&sb, "%g", x)
+		for _, c := range s.Columns {
+			if i < len(c.Y) {
+				fmt.Fprintf(&sb, ",%g", c.Y[i])
+			} else {
+				sb.WriteByte(',')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Render returns the series as a compact ASCII chart: each column is
+// binned and drawn as a horizontal bar profile, which is enough to read
+// the paper's qualitative shapes (linear, A-shaped, V-shaped) from a
+// terminal.
+func (s Series) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", s.ID, s.Title)
+	const bins = 22
+	const barWidth = 48
+	for _, col := range s.Columns {
+		fmt.Fprintf(&sb, "%s:\n", col.Label)
+		if len(col.Y) == 0 {
+			continue
+		}
+		// Bin the series down to a fixed number of rows.
+		binned := make([]float64, 0, bins)
+		labels := make([]string, 0, bins)
+		n := len(col.Y)
+		per := (n + bins - 1) / bins
+		for start := 0; start < n; start += per {
+			end := start + per
+			if end > n {
+				end = n
+			}
+			sum := 0.0
+			for _, v := range col.Y[start:end] {
+				sum += v
+			}
+			binned = append(binned, sum/float64(end-start))
+			if start < len(s.X) {
+				labels = append(labels, fmt.Sprintf("%g", s.X[start]))
+			} else {
+				labels = append(labels, "")
+			}
+		}
+		maxV := 0.0
+		for _, v := range binned {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		for i, v := range binned {
+			bar := 0
+			if maxV > 0 {
+				bar = int(v / maxV * barWidth)
+			}
+			fmt.Fprintf(&sb, "  %8s | %-*s %.4g\n", labels[i], barWidth, strings.Repeat("#", bar), v)
+		}
+	}
+	return sb.String()
+}
+
+// Result is any rendered experiment artifact.
+type Result interface {
+	// Render returns the terminal representation.
+	Render() string
+	// CSV returns the machine-readable representation.
+	CSV() string
+}
+
+// Render implements Result for Table (already defined); these assertions
+// keep both types honest.
+var (
+	_ Result = Table{}
+	_ Result = Series{}
+)
+
+func pct(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dnastore/internal/channel"
+	"dnastore/internal/dist"
+	"dnastore/internal/metrics"
+	"dnastore/internal/profile"
+	"dnastore/internal/recon"
+)
+
+// ExtStatisticalDistance evaluates the simulator tiers with the *direct*
+// metrics §3.1 enumerates (and sets aside in favour of reconstruction
+// accuracy): χ² distance between spatial error histograms, normalized
+// edit distance and gestalt similarity between corresponding clusters,
+// and χ² distance between read-length distributions. Each tier should sit
+// closer to the real data than the previous one.
+func ExtStatisticalDistance(wb *Workbench) (Table, error) {
+	t := Table{
+		ID:    "ext.metrics",
+		Title: "Statistical distance of each simulator tier from real data (§3.1 metric options)",
+		Headers: []string{
+			"Simulator", "Spatial χ²", "Norm edit dist", "Gestalt sim", "Length χ²",
+		},
+	}
+	refs := wb.Real.References()
+	realSpatial := metrics.Normalize(wb.Profile.SpatialHistogram())
+	cov := channel.CustomCoverage(wb.Real.Coverages())
+
+	tiers := wb.Profile.Tiers(10)
+	chans := make([]channel.Channel, 0, len(tiers)+1)
+	chans = append(chans, wb.Profile.DNASimulatorBaseline("DNASimulator"))
+	for _, tier := range tiers {
+		chans = append(chans, tier)
+	}
+	for i, ch := range chans {
+		sim := channel.Simulator{Channel: ch, Coverage: cov}
+		synth := sim.Simulate(ch.Name(), refs, wb.Scale.Seed+1200+uint64(i))
+		p, err := profile.Profile(synth, profile.Options{})
+		if err != nil {
+			return Table{}, err
+		}
+		spatialChi := metrics.ChiSquare(realSpatial, metrics.Normalize(p.SpatialHistogram()))
+		cd, err := metrics.CompareDatasets(wb.Real, synth, 2)
+		if err != nil {
+			return Table{}, err
+		}
+		lengthChi := metrics.LengthHistogramDistance(wb.Real, synth)
+		t.Rows = append(t.Rows, []string{
+			ch.Name(),
+			fmt.Sprintf("%.5f", spatialChi),
+			fmt.Sprintf("%.4f", cd.MeanNormEdit),
+			fmt.Sprintf("%.4f", cd.MeanGestalt),
+			fmt.Sprintf("%.5f", lengthChi),
+		})
+	}
+	return t, nil
+}
+
+// ExtAging measures retrieval accuracy as a function of storage time —
+// the archival question that motivates the whole field (§1: "archival
+// storage which deals with storage over hundreds of years"). The channel
+// is the composable pipeline with a growing decay stage; reconstruction
+// runs at fixed coverage.
+func ExtAging(scale Scale) Table {
+	t := Table{
+		ID:      "ext.aging",
+		Title:   "Retrieval accuracy vs storage time (pipeline channel, N=6)",
+		Headers: []string{"Years", "Aggregate rate", "Iter per-strand (%)", "Iter per-char (%)", "2way per-strand (%)"},
+	}
+	refs := channel.RandomReferences(scale.Clusters, 110, scale.Seed+1300)
+	for i, years := range []float64{0, 10, 50, 100, 200, 500} {
+		pipe := channel.Pipeline{
+			Label: fmt.Sprintf("aged-%gy", years),
+			Stages: []channel.Channel{
+				channel.NewSynthesisStage(0.01),
+				channel.NewPCRStage(30, 0.0001),
+				channel.NewDecayStage(years, 0.0002),
+				channel.NewSequencingStage(channel.NanoporeMix(0.03), channel.PaperLongDeletion(), dist.NanoporeSkew()),
+			},
+		}
+		sim := channel.Simulator{Channel: pipe, Coverage: channel.FixedCoverage(6)}
+		ds := sim.Simulate(pipe.Name(), refs, scale.Seed+1301+uint64(i))
+		ps, pc := reconstructAccuracy(recon.NewIterative(), ds)
+		ps2, _ := reconstructAccuracy(recon.NewTwoWayIterative(), ds)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%g", years),
+			fmt.Sprintf("%.4f", pipe.AggregateRate()),
+			pct(ps), pct(pc), pct(ps2),
+		})
+	}
+	return t
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import "testing"
+
+func TestExtStatisticalDistance(t *testing.T) {
+	wb := testWorkbench(t)
+	tab, err := ExtStatisticalDistance(wb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: DNASimulator, Naive, +Cond, +Skew, +2nd-order.
+	if len(tab.Rows) != 5 {
+		t.Fatalf("got %d rows", len(tab.Rows))
+	}
+	// Spatial χ²: the skew and second-order tiers (rows 3, 4) must sit far
+	// closer to the real spatial histogram than the naive tier (row 1).
+	naive := cell(t, tab, 1, 1)
+	skew := cell(t, tab, 3, 1)
+	so := cell(t, tab, 4, 1)
+	if skew >= naive/2 {
+		t.Errorf("skew tier spatial χ² %.5f not well below naive %.5f", skew, naive)
+	}
+	if so >= naive/2 {
+		t.Errorf("second-order tier spatial χ² %.5f not well below naive %.5f", so, naive)
+	}
+	// Gestalt similarity should be high for every tier (same references,
+	// similar error burden).
+	for row := 0; row < 5; row++ {
+		if g := cell(t, tab, row, 3); g < 0.80 {
+			t.Errorf("row %d gestalt similarity %.4f too low", row, g)
+		}
+	}
+}
+
+func TestExtAging(t *testing.T) {
+	tab := ExtAging(Scale{Clusters: 200, Seed: 11})
+	if len(tab.Rows) != 6 {
+		t.Fatalf("got %d rows", len(tab.Rows))
+	}
+	// Accuracy decays with storage time; aggregate rate grows.
+	first := cell(t, tab, 0, 2)
+	last := cell(t, tab, 5, 2)
+	if last >= first {
+		t.Errorf("per-strand accuracy did not decay with age: %v -> %v", first, last)
+	}
+	if cell(t, tab, 5, 1) <= cell(t, tab, 0, 1) {
+		t.Error("aggregate error did not grow with age")
+	}
+}

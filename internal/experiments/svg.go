@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SVG rendering of Series: stdlib-only line charts good enough to eyeball
+// the paper's profile shapes (linear, A-shaped, V-shaped) and accuracy
+// curves. dnabench -svg writes one file per figure.
+
+// svgPalette cycles through distinguishable stroke colours.
+var svgPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+const (
+	svgWidth   = 760
+	svgHeight  = 420
+	svgMarginL = 60
+	svgMarginR = 150
+	svgMarginT = 40
+	svgMarginB = 45
+)
+
+// SVG renders the series as a standalone SVG document.
+func (s Series) SVG() string {
+	plotW := float64(svgWidth - svgMarginL - svgMarginR)
+	plotH := float64(svgHeight - svgMarginT - svgMarginB)
+
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	for _, x := range s.X {
+		xMin = math.Min(xMin, x)
+		xMax = math.Max(xMax, x)
+	}
+	yMin, yMax := 0.0, math.Inf(-1)
+	for _, col := range s.Columns {
+		for _, y := range col.Y {
+			yMax = math.Max(yMax, y)
+		}
+	}
+	if math.IsInf(xMax, -1) || math.IsInf(yMax, -1) || xMax == xMin {
+		xMin, xMax, yMax = 0, 1, 1
+	}
+	if yMax <= yMin {
+		yMax = yMin + 1
+	}
+	// Headroom above the tallest point.
+	yMax *= 1.05
+
+	px := func(x float64) float64 { return svgMarginL + (x-xMin)/(xMax-xMin)*plotW }
+	py := func(y float64) float64 { return svgMarginT + plotH - (y-yMin)/(yMax-yMin)*plotH }
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		svgWidth, svgHeight, svgWidth, svgHeight)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&sb, `<text x="%d" y="22" font-family="sans-serif" font-size="14" font-weight="bold">%s — %s</text>`+"\n",
+		svgMarginL, escape(s.ID), escape(s.Title))
+
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		px(xMin), py(yMin), px(xMax), py(yMin))
+	fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		px(xMin), py(yMin), px(xMin), py(yMax/1.05))
+	// Ticks: 5 on each axis.
+	for i := 0; i <= 5; i++ {
+		xv := xMin + (xMax-xMin)*float64(i)/5
+		yv := yMin + (yMax-yMin)*float64(i)/5
+		fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+			px(xv), py(yMin), px(xv), py(yMin)+4)
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			px(xv), py(yMin)+16, trimFloat(xv))
+		fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+			px(xMin)-4, py(yv), px(xMin), py(yv))
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+			px(xMin)-7, py(yv)+3, trimFloat(yv))
+	}
+	fmt.Fprintf(&sb, `<text x="%g" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+		px((xMin+xMax)/2), svgHeight-8, escape(s.XLabel))
+
+	// Curves + legend.
+	for ci, col := range s.Columns {
+		colour := svgPalette[ci%len(svgPalette)]
+		var path strings.Builder
+		for i, y := range col.Y {
+			if i >= len(s.X) {
+				break
+			}
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, px(s.X[i]), py(y))
+		}
+		fmt.Fprintf(&sb, `<path d="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+			strings.TrimSpace(path.String()), colour)
+		ly := svgMarginT + 14 + 16*ci
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="3"/>`+"\n",
+			svgWidth-svgMarginR+10, ly, svgWidth-svgMarginR+30, ly, colour)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="sans-serif" font-size="10">%s</text>`+"\n",
+			svgWidth-svgMarginR+35, ly+3, escape(col.Label))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3g", v)
+	return s
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesSVG(t *testing.T) {
+	s := Series{
+		ID: "fig-test", Title: "a title with <markup> & \"quotes\"", XLabel: "position",
+		X: []float64{0, 1, 2, 3},
+		Columns: []SeriesColumn{
+			{Label: "curve-a", Y: []float64{0, 1, 4, 9}},
+			{Label: "curve-b", Y: []float64{9, 4, 1, 0}},
+		},
+	}
+	svg := s.SVG()
+	for _, want := range []string{
+		"<svg", "</svg>", "curve-a", "curve-b", "position",
+		"&lt;markup&gt;", "&amp;", "&quot;", "<path",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Contains(svg, "<markup>") {
+		t.Error("unescaped markup in SVG")
+	}
+	// Two curves → two paths.
+	if n := strings.Count(svg, "<path"); n != 2 {
+		t.Errorf("got %d paths, want 2", n)
+	}
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Error("non-finite coordinates in SVG")
+	}
+}
+
+func TestSeriesSVGDegenerate(t *testing.T) {
+	// Empty and constant series must not divide by zero.
+	for _, s := range []Series{
+		{ID: "empty"},
+		{ID: "flat", X: []float64{1, 1}, Columns: []SeriesColumn{{Label: "c", Y: []float64{0, 0}}}},
+	} {
+		svg := s.SVG()
+		if !strings.Contains(svg, "</svg>") {
+			t.Errorf("%s: malformed SVG", s.ID)
+		}
+		if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+			t.Errorf("%s: non-finite coordinates", s.ID)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dnastore/internal/channel"
+	"dnastore/internal/dataset"
+	"dnastore/internal/dna"
+	"dnastore/internal/metrics"
+	"dnastore/internal/recon"
+	"dnastore/internal/wetlab"
+)
+
+// accuracyOf compares a dataset's references against reconstructions.
+func accuracyOf(ds *dataset.Dataset, out []dna.Strand) metrics.Accuracy {
+	return metrics.ComputeAccuracy(ds.References(), out)
+}
+
+// Table11 reproduces Table 1.1: the sequencing technology comparison.
+func Table11() Table {
+	t := Table{
+		ID:      "table1.1",
+		Title:   "Comparison of DNA sequencing technologies",
+		Headers: []string{"Technology", "Generation", "Cost per Kb ($)", "Error rate", "Seq. length (bp)", "Read speed (h/Kb)", "Burst errors"},
+	}
+	for _, tech := range wetlab.Technologies() {
+		burst := "no"
+		if tech.BurstErrors {
+			burst = "yes"
+		}
+		t.Rows = append(t.Rows, []string{
+			tech.Name,
+			fmt.Sprintf("%d", tech.Generation),
+			fmt.Sprintf("%g–%g", tech.CostPerKbUSD[0], tech.CostPerKbUSD[1]),
+			fmt.Sprintf("%g–%g%%", 100*tech.ErrorRate[0], 100*tech.ErrorRate[1]),
+			fmt.Sprintf("%d", tech.SequencingLengthBP),
+			fmt.Sprintf("%g–%g", tech.ReadSpeedHoursPerKb[0], tech.ReadSpeedHoursPerKb[1]),
+			burst,
+		})
+	}
+	return t
+}
+
+// Table21 reproduces Table 2.1: per-strand accuracy of BMA, Divider BMA
+// and Iterative on real data versus the naive simulator and DNASimulator,
+// under custom (matched per-cluster) and fixed coverage.
+func Table21(wb *Workbench) Table {
+	t := Table{
+		ID:      "table2.1",
+		Title:   "Per-strand accuracy of TR algorithms on real and simulated data",
+		Headers: []string{"Data", "Coverage", "BMA (%)", "DivBMA (%)", "Iterative (%)"},
+	}
+	refs := wb.Real.References()
+	custom := channel.CustomCoverage(wb.Real.Coverages())
+
+	naive := channel.Simulator{Channel: wb.Profile.NaiveModel("Naive Simulator"), Coverage: custom}.
+		Simulate("Naive Simulator", refs, wb.Scale.Seed+101)
+	dnasimCh := wb.Profile.DNASimulatorBaseline("DNASimulator")
+	dnasimCustom := channel.Simulator{Channel: dnasimCh, Coverage: custom}.
+		Simulate("DNASimulator", refs, wb.Scale.Seed+102)
+	dnasimFixed := channel.Simulator{Channel: dnasimCh, Coverage: channel.FixedCoverage(26)}.
+		Simulate("DNASimulator", refs, wb.Scale.Seed+103)
+
+	rows := []struct {
+		ds       *dataset.Dataset
+		coverage string
+	}{
+		{wb.Real, "Custom"},
+		{naive, "Custom"},
+		{dnasimCustom, "Custom"},
+		{dnasimFixed, "26"},
+	}
+	algs := []recon.Reconstructor{recon.NewBMA(), recon.NewDividerBMA(), recon.NewIterative()}
+	for _, row := range rows {
+		cells := []string{row.ds.Name, row.coverage}
+		for _, alg := range algs {
+			ps, _ := reconstructAccuracy(alg, row.ds)
+			cells = append(cells, pct(ps))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t
+}
+
+// Table22 reproduces Table 2.2: per-strand and per-character accuracy of
+// BMA and Iterative at fixed coverages 5 and 6, real versus DNASimulator.
+func Table22(wb *Workbench) (Table, error) {
+	t := Table{
+		ID:      "table2.2",
+		Title:   "Accuracy of TR algorithms at fixed coverage",
+		Headers: []string{"Data", "Coverage", "BMA per-strand (%)", "BMA per-char (%)", "Iter per-strand (%)", "Iter per-char (%)"},
+	}
+	dnasimCh := wb.Profile.DNASimulatorBaseline("DNASimulator")
+	refs := wb.Real.References()
+	for _, n := range []int{5, 6} {
+		real, err := wb.FixedCoverage(n, 10)
+		if err != nil {
+			return Table{}, err
+		}
+		sim := channel.Simulator{Channel: dnasimCh, Coverage: channel.FixedCoverage(n)}.
+			Simulate("DNASimulator", refs, wb.Scale.Seed+200+uint64(n))
+		for _, ds := range []*dataset.Dataset{real, sim} {
+			name := ds.Name
+			if ds == real {
+				name = "Nanopore"
+			}
+			cells := []string{name, fmt.Sprintf("%d", n)}
+			for _, alg := range []recon.Reconstructor{recon.NewBMA(), recon.NewIterative()} {
+				ps, pc := reconstructAccuracy(alg, ds)
+				cells = append(cells, pct(ps), pct(pc))
+			}
+			t.Rows = append(t.Rows, cells)
+		}
+	}
+	return t, nil
+}
+
+// progressiveDatasets builds the Table 3.1/3.2 evaluation set at fixed
+// coverage n: the real data plus the four calibrated simulator tiers.
+func progressiveDatasets(wb *Workbench, n int) ([]*dataset.Dataset, error) {
+	real, err := wb.FixedCoverage(n, 10)
+	if err != nil {
+		return nil, err
+	}
+	real.Name = "Nanopore"
+	out := []*dataset.Dataset{real}
+	refs := wb.Real.References()
+	for i, tier := range wb.Profile.Tiers(10) {
+		sim := channel.Simulator{Channel: tier, Coverage: channel.FixedCoverage(n)}.
+			Simulate(tier.Name(), refs, wb.Scale.Seed+300+uint64(10*n+i))
+		out = append(out, sim)
+	}
+	return out, nil
+}
+
+// progressiveTable renders the Table 3.1/3.2 layout at one coverage.
+func progressiveTable(wb *Workbench, id string, n int) (Table, error) {
+	t := Table{
+		ID:      id,
+		Title:   fmt.Sprintf("Comparison of accuracy of TR algorithms at N = %d", n),
+		Headers: []string{"Data", "BMA per-strand (%)", "BMA per-char (%)", "Iter per-strand (%)", "Iter per-char (%)"},
+	}
+	sets, err := progressiveDatasets(wb, n)
+	if err != nil {
+		return Table{}, err
+	}
+	for _, ds := range sets {
+		cells := []string{ds.Name}
+		for _, alg := range []recon.Reconstructor{recon.NewBMA(), recon.NewIterative()} {
+			ps, pc := reconstructAccuracy(alg, ds)
+			cells = append(cells, pct(ps), pct(pc))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t, nil
+}
+
+// Table31 reproduces Table 3.1: the progressive simulator tiers at N=5.
+func Table31(wb *Workbench) (Table, error) { return progressiveTable(wb, "table3.1", 5) }
+
+// Table32 reproduces Table 3.2: the progressive simulator tiers at N=6.
+func Table32(wb *Workbench) (Table, error) { return progressiveTable(wb, "table3.2", 6) }

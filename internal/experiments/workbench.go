@@ -1,0 +1,92 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment is a function from a Workbench (the shared
+// "real data" + calibration state) or a Scale to a rendered Table or
+// Series; cmd/dnabench and the top-level benchmarks drive them.
+//
+// See DESIGN.md §4 for the experiment ↔ module index and EXPERIMENTS.md
+// for paper-vs-measured numbers.
+package experiments
+
+import (
+	"fmt"
+
+	"dnastore/internal/dataset"
+	"dnastore/internal/profile"
+	"dnastore/internal/recon"
+	"dnastore/internal/rng"
+	"dnastore/internal/wetlab"
+)
+
+// Scale sets the experiment size. The paper's full scale is 10,000
+// clusters; tests and quick benchmark runs use a few hundred, which
+// preserves every qualitative result at ~2% accuracy noise.
+type Scale struct {
+	// Clusters is the number of reference strands.
+	Clusters int
+	// Seed drives every random choice.
+	Seed uint64
+}
+
+// FullScale is the paper's dataset size.
+func FullScale() Scale { return Scale{Clusters: 10000, Seed: 1} }
+
+// QuickScale is large enough for stable orderings at a fraction of the
+// cost; used by tests and default benchmark runs.
+func QuickScale() Scale { return Scale{Clusters: 600, Seed: 1} }
+
+// Workbench holds the shared state most experiments start from: the
+// synthetic "real Nanopore" dataset, its shuffled fixed-coverage view
+// (§3.2 protocol), and the error profile fitted from its reads.
+type Workbench struct {
+	// Scale is the size everything was generated at.
+	Scale Scale
+	// Real is the wetlab stand-in dataset (perfectly clustered).
+	Real *dataset.Dataset
+	// Shuffled is Real with reads shuffled once, reused for every
+	// fixed-coverage subsample so coverages share read prefixes.
+	Shuffled *dataset.Dataset
+	// Profile is the error profile extracted from Real.
+	Profile *profile.ErrorProfile
+}
+
+// NewWorkbench generates the wetlab dataset at the given scale and
+// profiles it.
+func NewWorkbench(scale Scale) (*Workbench, error) {
+	if scale.Clusters <= 0 {
+		return nil, fmt.Errorf("experiments: scale must have positive cluster count")
+	}
+	cfg := wetlab.DefaultConfig()
+	cfg.NumClusters = scale.Clusters
+	cfg.Seed = scale.Seed
+	real, err := wetlab.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := profile.Profile(real, profile.Options{})
+	if err != nil {
+		return nil, err
+	}
+	shuffled := real.Clone()
+	shuffled.ShuffleReads(rng.New(scale.Seed + 17))
+	return &Workbench{Scale: scale, Real: real, Shuffled: shuffled, Profile: prof}, nil
+}
+
+// FixedCoverage returns the §3.2 fixed-coverage view of the real data:
+// clusters with at least minCoverage reads, truncated to their first n
+// after the one-time shuffle.
+func (wb *Workbench) FixedCoverage(n, minCoverage int) (*dataset.Dataset, error) {
+	ds, err := wb.Shuffled.SubsampleFixed(n, minCoverage)
+	if err != nil {
+		return nil, err
+	}
+	ds.Name = fmt.Sprintf("Nanopore@N=%d", n)
+	return ds, nil
+}
+
+// reconstructAccuracy runs one algorithm over a dataset and returns its
+// accuracy pair.
+func reconstructAccuracy(alg recon.Reconstructor, ds *dataset.Dataset) (perStrand, perChar float64) {
+	out := recon.ReconstructDataset(alg, ds)
+	acc := accuracyOf(ds, out)
+	return acc.PerStrand, acc.PerChar
+}

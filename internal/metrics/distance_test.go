@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dnastore/internal/channel"
+	"dnastore/internal/dataset"
+	"dnastore/internal/dna"
+)
+
+func simDS(rate float64, seed uint64) *dataset.Dataset {
+	refs := channel.RandomReferences(60, 110, 7)
+	sim := channel.Simulator{
+		Channel:  channel.NewNaive("n", channel.EqualMix(rate)),
+		Coverage: channel.FixedCoverage(4),
+	}
+	return sim.Simulate("d", refs, seed)
+}
+
+func TestCompareDatasetsSelf(t *testing.T) {
+	a := simDS(0.05, 1)
+	d, err := CompareDatasets(a, a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MeanNormEdit != 0 || d.MeanGestalt != 1 {
+		t.Errorf("self-distance = %+v", d)
+	}
+	if d.Pairs != 180 {
+		t.Errorf("pairs = %d", d.Pairs)
+	}
+	if !strings.Contains(d.String(), "norm-edit") {
+		t.Errorf("String = %q", d.String())
+	}
+}
+
+func TestCompareDatasetsOrdersByErrorRate(t *testing.T) {
+	// Distance from a clean dataset should grow with the other dataset's
+	// error rate.
+	refs := channel.RandomReferences(60, 110, 7)
+	clean := channel.Simulator{
+		Channel:  channel.NewNaive("c", channel.Rates{}),
+		Coverage: channel.FixedCoverage(4),
+	}.Simulate("clean", refs, 2)
+	low := simDS(0.03, 3)
+	high := simDS(0.12, 4)
+	dLow, err := CompareDatasets(clean, low, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dHigh, err := CompareDatasets(clean, high, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dLow.MeanNormEdit >= dHigh.MeanNormEdit {
+		t.Errorf("edit distance not monotone: %v vs %v", dLow.MeanNormEdit, dHigh.MeanNormEdit)
+	}
+	if dLow.MeanGestalt <= dHigh.MeanGestalt {
+		t.Errorf("gestalt similarity not monotone: %v vs %v", dLow.MeanGestalt, dHigh.MeanGestalt)
+	}
+}
+
+func TestCompareDatasetsErrors(t *testing.T) {
+	a := simDS(0.05, 1)
+	b := &dataset.Dataset{Clusters: a.Clusters[:10]}
+	if _, err := CompareDatasets(a, b, 3); err == nil {
+		t.Error("cluster count mismatch accepted")
+	}
+	c := a.Clone()
+	c.Clusters[0].Ref = "ACGT"
+	if _, err := CompareDatasets(a, c, 3); err == nil {
+		t.Error("reference mismatch accepted")
+	}
+	empty := &dataset.Dataset{}
+	if _, err := CompareDatasets(empty, empty, 3); err == nil {
+		t.Error("empty datasets accepted")
+	}
+}
+
+func TestReadLengthHistogram(t *testing.T) {
+	ds := &dataset.Dataset{Clusters: []dataset.Cluster{
+		{Ref: "ACGT", Reads: []dna.Strand{"ACGT", "ACG", "ACGT"}},
+	}}
+	h := ReadLengthHistogram(ds)
+	if h[4] != 2 || h[3] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestLengthHistogramDistance(t *testing.T) {
+	delHeavy := channel.Simulator{
+		Channel:  channel.NewNaive("d", channel.Rates{Del: 0.1}),
+		Coverage: channel.FixedCoverage(4),
+	}.Simulate("del", channel.RandomReferences(60, 110, 7), 5)
+	insHeavy := channel.Simulator{
+		Channel:  channel.NewNaive("i", channel.Rates{Ins: 0.1}),
+		Coverage: channel.FixedCoverage(4),
+	}.Simulate("ins", channel.RandomReferences(60, 110, 7), 6)
+	same := LengthHistogramDistance(delHeavy, delHeavy)
+	diff := LengthHistogramDistance(delHeavy, insHeavy)
+	if same != 0 {
+		t.Errorf("self length distance = %v", same)
+	}
+	if diff < 0.5 {
+		t.Errorf("del-vs-ins length distance = %v, want large", diff)
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	p := []float64{1, 1, 2}
+	if d := KLDivergence(p, p, 0); math.Abs(d) > 1e-9 {
+		t.Errorf("self KL = %v", d)
+	}
+	q := []float64{2, 1, 1}
+	if d := KLDivergence(p, q, 0); d <= 0 {
+		t.Errorf("KL(p,q) = %v, want > 0", d)
+	}
+	// Different lengths and empty bins are handled via smoothing.
+	if d := KLDivergence([]float64{1}, []float64{0, 1}, 1e-6); math.IsInf(d, 0) || math.IsNaN(d) {
+		t.Errorf("smoothed KL = %v", d)
+	}
+}

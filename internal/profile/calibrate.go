@@ -1,0 +1,109 @@
+package profile
+
+import (
+	"dnastore/internal/align"
+	"dnastore/internal/channel"
+	"dnastore/internal/dist"
+	"dnastore/internal/dna"
+)
+
+// The calibration methods turn a measured ErrorProfile into the paper's
+// four simulator tiers (§3.3, Tables 3.1/3.2). Each tier consumes strictly
+// more of the profile:
+//
+//	NaiveModel        — aggregate IDS rates only
+//	ConditionalModel  — + per-base conditional rates, confusion matrix,
+//	                     long deletions ("+ Cond. Prob + Del")
+//	SkewedModel       — + empirical spatial distribution ("+ Spatial Skew")
+//	SecondOrderModel  — + top-K specific errors with their own spatial
+//	                     histograms ("+ 2nd-order Errors")
+
+// NaiveModel fits the paper's naive simulator: the three aggregate
+// probabilities, position-independent and base-independent.
+func (p *ErrorProfile) NaiveModel(label string) *channel.Model {
+	return channel.NewNaive(label, p.Rates())
+}
+
+// ConditionalModel fits the "+ Cond. Prob + Del" tier: conditional
+// per-base rates, the substitution confusion matrix, the insertion base
+// distribution and the long-deletion burst model.
+func (p *ErrorProfile) ConditionalModel(label string) *channel.Model {
+	m := &channel.Model{Label: label}
+	m.PerBase = p.PerBaseRates()
+	m.SubMatrix = p.SubConfusion()
+	m.InsDist = p.InsDistribution()
+	m.LongDel = p.LongDeletion()
+	return m
+}
+
+// SkewedModel fits the "+ Spatial Skew" tier: the conditional model shaped
+// by the measured per-position error histogram.
+func (p *ErrorProfile) SkewedModel(label string) *channel.Model {
+	m := p.ConditionalModel(label)
+	return m.WithSpatial(dist.Empirical{Weights: p.SpatialHistogram(), Label: "fitted"}).WithLabel(label)
+}
+
+// SecondOrderModel fits the "+ 2nd-order Errors" tier: the skewed model
+// with the top-k specific errors carved out, each carrying its own fitted
+// spatial histogram. The generic mass shrinks so the aggregate error rate
+// is unchanged (§3.3.3).
+func (p *ErrorProfile) SecondOrderModel(label string, k int) *channel.Model {
+	base := p.SkewedModel(label)
+	stats := p.TopSecondOrder(k)
+	errors := make([]channel.SecondOrderError, 0, len(stats))
+	for _, s := range stats {
+		e := channel.SecondOrderError{Kind: s.Kind, From: s.From, To: s.To}
+		// Convert the count into a per-applicable-position probability.
+		switch s.Kind {
+		case align.Ins:
+			if p.RefBases > 0 {
+				e.Rate = float64(s.Count) / float64(p.RefBases)
+			}
+		default:
+			if n := p.BaseCounts[s.From]; n > 0 {
+				e.Rate = float64(s.Count) / float64(n)
+			}
+		}
+		// Trim the one-past-end bin into the final position, matching
+		// SpatialHistogram's convention.
+		if len(s.Spatial) > 1 {
+			sp := make([]float64, len(s.Spatial)-1)
+			copy(sp, s.Spatial[:len(sp)])
+			sp[len(sp)-1] += s.Spatial[len(s.Spatial)-1]
+			e.Spatial = sp
+		}
+		errors = append(errors, e)
+	}
+	out := base.WithSecondOrder(errors)
+	out.Label = label
+	return out
+}
+
+// Tiers returns all four calibrated models in evaluation order with the
+// paper's table labels.
+func (p *ErrorProfile) Tiers(topK int) []*channel.Model {
+	return []*channel.Model{
+		p.NaiveModel("Naive Simulator"),
+		p.ConditionalModel(`" + Cond. Prob + Del`),
+		p.SkewedModel(`" + Spatial Skew`),
+		p.SecondOrderModel(`" + 2nd-order Errors`, topK),
+	}
+}
+
+// DNASimulatorBaseline builds the static-dictionary DNASimulator whose
+// per-base rates are taken from this profile, mirroring how the original
+// tool ships precomputed dictionaries per technology pair.
+func (p *ErrorProfile) DNASimulatorBaseline(label string) *channel.DNASimulator {
+	s := &channel.DNASimulator{Label: label, LongDelLen: MinLongDel}
+	per := p.PerBaseRates()
+	ld := p.LongDeletion()
+	for b := 0; b < dna.NumBases; b++ {
+		s.Errors[b] = channel.BaseErrorRates{
+			Sub:     per[b].Sub,
+			Ins:     per[b].Ins,
+			Del:     per[b].Del,
+			LongDel: ld.Prob,
+		}
+	}
+	return s
+}

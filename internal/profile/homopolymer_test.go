@@ -1,0 +1,84 @@
+package profile
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dnastore/internal/channel"
+	"dnastore/internal/dataset"
+	"dnastore/internal/dna"
+	"dnastore/internal/rng"
+)
+
+// runRichRefs builds references containing frequent homopolymer runs.
+func runRichRefs(n, length int, seed uint64) []dna.Strand {
+	r := rng.New(seed)
+	refs := make([]dna.Strand, n)
+	for i := range refs {
+		var sb strings.Builder
+		for sb.Len() < length {
+			b := dna.Base(r.Intn(dna.NumBases))
+			runLen := 1 + r.Intn(5)
+			for k := 0; k < runLen && sb.Len() < length; k++ {
+				sb.WriteByte(b.Byte())
+			}
+		}
+		refs[i] = dna.Strand(sb.String())
+	}
+	return refs
+}
+
+func TestHomopolymerRatioDetectsBoost(t *testing.T) {
+	refs := runRichRefs(300, 110, 1)
+	base := channel.NewNaive("b", channel.EqualMix(0.05))
+	boosted, err := channel.NewHomopolymerModel(base, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulate := func(ch channel.Channel) *dataset.Dataset {
+		sim := channel.Simulator{Channel: ch, Coverage: channel.FixedCoverage(8)}
+		return sim.Simulate("hp", refs, 2)
+	}
+	pBase, err := Profile(simulate(base), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pBoost, err := Profile(simulate(boosted), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBase := pBase.HomopolymerErrorRatio()
+	rBoost := pBoost.HomopolymerErrorRatio()
+	// The unboosted channel may sit slightly above 1 because insertions
+	// adjacent to a run alias into it under edit-distance attribution, but
+	// the boosted channel must measure far higher.
+	if math.Abs(rBase-1) > 0.35 {
+		t.Errorf("unboosted homopolymer ratio = %v, want ≈1", rBase)
+	}
+	if rBoost < rBase*1.8 {
+		t.Errorf("boosted ratio %v not clearly above unboosted %v", rBoost, rBase)
+	}
+}
+
+func TestHomopolymerRatioNoRuns(t *testing.T) {
+	// References without any run >= 3: ratio must report 0 (undefined).
+	refs := make([]dna.Strand, 50)
+	for i := range refs {
+		refs[i] = dna.Strand(strings.Repeat("ACGT", 25))
+	}
+	sim := channel.Simulator{
+		Channel:  channel.NewNaive("b", channel.EqualMix(0.05)),
+		Coverage: channel.FixedCoverage(4),
+	}
+	p, err := Profile(sim.Simulate("norun", refs, 3), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.HomoBases != 0 {
+		t.Errorf("HomoBases = %d for run-free references", p.HomoBases)
+	}
+	if p.HomopolymerErrorRatio() != 0 {
+		t.Errorf("ratio = %v, want 0", p.HomopolymerErrorRatio())
+	}
+}

@@ -1,0 +1,173 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dnastore/internal/align"
+	"dnastore/internal/dna"
+)
+
+// JSON serialization of calibrated profiles, so an expensive profiling run
+// over a large dataset can be stored alongside the data and reloaded by
+// later simulations (the workflow of shipping "error dictionaries" that
+// DNASimulator hard-codes — except fitted, versioned and reproducible).
+
+// serialProfile is the stable on-disk form of an ErrorProfile. Fields use
+// explicit JSON names so the format survives internal refactors.
+type serialProfile struct {
+	Version        int                `json:"version"`
+	StrandLen      int                `json:"strand_len"`
+	Reads          int                `json:"reads"`
+	RefBases       int                `json:"ref_bases"`
+	SubCount       int                `json:"sub_count"`
+	InsCount       int                `json:"ins_count"`
+	DelCount       int                `json:"del_count"`
+	LongDelStarts  int                `json:"long_del_starts"`
+	LongDelBases   int                `json:"long_del_bases"`
+	HomoBases      int                `json:"homo_bases"`
+	HomoErrors     int                `json:"homo_errors"`
+	BaseCounts     [dna.NumBases]int  `json:"base_counts"`
+	SubPerBase     [dna.NumBases]int  `json:"sub_per_base"`
+	InsPerBase     [dna.NumBases]int  `json:"ins_per_base"`
+	DelPerBase     [dna.NumBases]int  `json:"del_per_base"`
+	SubMatrix      [][]int            `json:"sub_matrix"`
+	InsBases       [dna.NumBases]int  `json:"ins_bases"`
+	LongDelLengths []int              `json:"long_del_lengths"`
+	Spatial        []float64          `json:"spatial"`
+	SecondOrder    []serialSObuiltRow `json:"second_order"`
+}
+
+type serialSObuiltRow struct {
+	Kind    string    `json:"kind"` // "sub", "del", "ins"
+	From    string    `json:"from,omitempty"`
+	To      string    `json:"to,omitempty"`
+	Count   int       `json:"count"`
+	Spatial []float64 `json:"spatial,omitempty"`
+}
+
+// currentVersion is the serialization format version.
+const currentVersion = 1
+
+// WriteJSON serialises the profile.
+func (p *ErrorProfile) WriteJSON(w io.Writer) error {
+	sp := serialProfile{
+		Version:        currentVersion,
+		StrandLen:      p.StrandLen,
+		Reads:          p.Reads,
+		RefBases:       p.RefBases,
+		SubCount:       p.SubCount,
+		InsCount:       p.InsCount,
+		DelCount:       p.DelCount,
+		LongDelStarts:  p.LongDelStarts,
+		LongDelBases:   p.LongDelBases,
+		HomoBases:      p.HomoBases,
+		HomoErrors:     p.HomoErrors,
+		BaseCounts:     p.BaseCounts,
+		SubPerBase:     p.SubPerBase,
+		InsPerBase:     p.InsPerBase,
+		DelPerBase:     p.DelPerBase,
+		InsBases:       p.InsBases,
+		LongDelLengths: p.LongDelLengths,
+		Spatial:        p.Spatial,
+	}
+	sp.SubMatrix = make([][]int, dna.NumBases)
+	for b := 0; b < dna.NumBases; b++ {
+		sp.SubMatrix[b] = make([]int, dna.NumBases)
+		for c := 0; c < dna.NumBases; c++ {
+			sp.SubMatrix[b][c] = p.SubMatrix[b][c]
+		}
+	}
+	for _, s := range p.SecondOrder {
+		row := serialSObuiltRow{Kind: s.Kind.String(), Count: s.Count, Spatial: s.Spatial}
+		if s.Kind != align.Ins {
+			row.From = s.From.String()
+		}
+		if s.Kind != align.Del {
+			row.To = s.To.String()
+		}
+		sp.SecondOrder = append(sp.SecondOrder, row)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sp)
+}
+
+// ReadJSON deserialises a profile written by WriteJSON.
+func ReadJSON(r io.Reader) (*ErrorProfile, error) {
+	var sp serialProfile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		return nil, fmt.Errorf("profile: decode: %w", err)
+	}
+	if sp.Version != currentVersion {
+		return nil, fmt.Errorf("profile: unsupported format version %d", sp.Version)
+	}
+	if sp.StrandLen <= 0 {
+		return nil, fmt.Errorf("profile: invalid strand length %d", sp.StrandLen)
+	}
+	p := &ErrorProfile{
+		StrandLen:      sp.StrandLen,
+		Reads:          sp.Reads,
+		RefBases:       sp.RefBases,
+		SubCount:       sp.SubCount,
+		InsCount:       sp.InsCount,
+		DelCount:       sp.DelCount,
+		LongDelStarts:  sp.LongDelStarts,
+		LongDelBases:   sp.LongDelBases,
+		HomoBases:      sp.HomoBases,
+		HomoErrors:     sp.HomoErrors,
+		BaseCounts:     sp.BaseCounts,
+		SubPerBase:     sp.SubPerBase,
+		InsPerBase:     sp.InsPerBase,
+		DelPerBase:     sp.DelPerBase,
+		InsBases:       sp.InsBases,
+		LongDelLengths: sp.LongDelLengths,
+		Spatial:        sp.Spatial,
+	}
+	if len(sp.SubMatrix) != dna.NumBases {
+		return nil, fmt.Errorf("profile: substitution matrix has %d rows", len(sp.SubMatrix))
+	}
+	for b := 0; b < dna.NumBases; b++ {
+		if len(sp.SubMatrix[b]) != dna.NumBases {
+			return nil, fmt.Errorf("profile: substitution matrix row %d has %d columns", b, len(sp.SubMatrix[b]))
+		}
+		for c := 0; c < dna.NumBases; c++ {
+			p.SubMatrix[b][c] = sp.SubMatrix[b][c]
+		}
+	}
+	if len(p.Spatial) != p.StrandLen+1 {
+		return nil, fmt.Errorf("profile: spatial histogram length %d != %d", len(p.Spatial), p.StrandLen+1)
+	}
+	for _, row := range sp.SecondOrder {
+		s := SecondOrderStat{Count: row.Count, Spatial: row.Spatial}
+		switch row.Kind {
+		case "sub":
+			s.Kind = align.Sub
+		case "del":
+			s.Kind = align.Del
+		case "ins":
+			s.Kind = align.Ins
+		default:
+			return nil, fmt.Errorf("profile: unknown second-order kind %q", row.Kind)
+		}
+		if row.From != "" {
+			b, err := dna.BaseFromByte(row.From[0])
+			if err != nil {
+				return nil, err
+			}
+			s.From = b
+		}
+		if row.To != "" {
+			b, err := dna.BaseFromByte(row.To[0])
+			if err != nil {
+				return nil, err
+			}
+			s.To = b
+		}
+		p.SecondOrder = append(p.SecondOrder, s)
+	}
+	return p, nil
+}

@@ -1,0 +1,28 @@
+package recon_test
+
+import (
+	"fmt"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/recon"
+)
+
+// Example reconstructs a reference from three noisy copies carrying one
+// error each.
+func Example() {
+	cluster := []dna.Strand{
+		"ACGTTGCAACGGTACCGATG", // clean
+		"ACGTGCAACGGTACCGATG",  // one deletion
+		"ACGTTGCAACGGTACCGATC", // one substitution
+	}
+	alg := recon.NewIterative()
+	fmt.Println(alg.Reconstruct(cluster, 20))
+	// Output: ACGTTGCAACGGTACCGATG
+}
+
+// ExampleByName resolves algorithms the way the CLIs do.
+func ExampleByName() {
+	alg, ok := recon.ByName("iterative-twoway")
+	fmt.Println(ok, alg.Name())
+	// Output: true Iterative-2way
+}

@@ -1,0 +1,70 @@
+package recon
+
+import (
+	"testing"
+
+	"dnastore/internal/channel"
+	"dnastore/internal/dna"
+	"dnastore/internal/metrics"
+)
+
+func TestMSACleanCluster(t *testing.T) {
+	ref := dna.Strand("ACGTTGCAACGTACGTACGA")
+	if got := NewMSA().Reconstruct([]dna.Strand{ref, ref, ref}, ref.Len()); got != ref {
+		t.Errorf("clean cluster gave %q", got)
+	}
+	if got := NewMSA().Reconstruct(nil, 10); got != "" {
+		t.Errorf("empty cluster gave %q", got)
+	}
+	if got := NewMSA().Reconstruct([]dna.Strand{ref}, ref.Len()); got != ref {
+		t.Errorf("single copy gave %q", got)
+	}
+}
+
+func TestMSAOutvotesSingleErrors(t *testing.T) {
+	ref := dna.Strand("ACGTTGCAACGGTACCGATG")
+	del := dna.Strand("ACGTGCAACGGTACCGATG")   // deletion
+	ins := dna.Strand("ACGTTTGCAACGGTACCGATG") // insertion
+	sub := dna.Strand("ACGTTGCAACGGTACCGATC")  // substitution
+	cluster := []dna.Strand{ref, del, ins, sub, ref}
+	if got := NewMSA().Reconstruct(cluster, ref.Len()); got != ref {
+		t.Errorf("MSA gave %q, want %q", got, ref)
+	}
+}
+
+func TestCenterCopy(t *testing.T) {
+	// The middle strand is closest to both others.
+	a := dna.Strand("AAAAAAAAAA")
+	b := dna.Strand("AAAAATAAAA")
+	c := dna.Strand("AAAAATTAAA")
+	if got := centerCopy([]dna.Strand{a, b, c}); got != b {
+		t.Errorf("center = %q, want %q", got, b)
+	}
+	if got := centerCopy([]dna.Strand{a}); got != a {
+		t.Error("single-element center wrong")
+	}
+}
+
+func TestMSACompetitiveAccuracy(t *testing.T) {
+	refs := channel.RandomReferences(200, 110, 61)
+	sim := channel.Simulator{
+		Channel:  channel.NewNaive("n", channel.NanoporeMix(0.059)),
+		Coverage: channel.FixedCoverage(6),
+	}
+	ds := sim.Simulate("msa", refs, 62)
+	msa := metrics.ComputeAccuracy(ds.References(), ReconstructDataset(NewMSA(), ds))
+	maj := metrics.ComputeAccuracy(ds.References(), ReconstructDataset(Majority{}, ds))
+	if msa.PerChar <= maj.PerChar {
+		t.Errorf("MSA per-char %.2f not above Majority %.2f", msa.PerChar, maj.PerChar)
+	}
+	if msa.PerStrand < 50 {
+		t.Errorf("MSA per-strand %.2f unexpectedly low", msa.PerStrand)
+	}
+}
+
+func TestMSAByName(t *testing.T) {
+	alg, ok := ByName("msa")
+	if !ok || alg.Name() != "MSA" {
+		t.Errorf("ByName(msa) = %v, %v", alg, ok)
+	}
+}

@@ -1,0 +1,74 @@
+package rng
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Categorical samples indices with fixed, possibly unnormalised weights.
+// Construction is O(n); sampling is O(log n) via binary search on the CDF.
+// The zero value is unusable; build with NewCategorical.
+type Categorical struct {
+	cdf   []float64
+	total float64
+}
+
+// NewCategorical builds a sampler over len(weights) outcomes. Weights must
+// be non-negative and sum to a positive value; they need not be normalised.
+func NewCategorical(weights []float64) (*Categorical, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("rng: categorical needs at least one weight")
+	}
+	cdf := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("rng: negative weight %g at index %d", w, i)
+		}
+		total += w
+		cdf[i] = total
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("rng: categorical weights sum to %g, need > 0", total)
+	}
+	return &Categorical{cdf: cdf, total: total}, nil
+}
+
+// MustCategorical is NewCategorical that panics on error; for static tables.
+func MustCategorical(weights []float64) *Categorical {
+	c, err := NewCategorical(weights)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Len returns the number of outcomes.
+func (c *Categorical) Len() int { return len(c.cdf) }
+
+// Prob returns the normalised probability of outcome i.
+func (c *Categorical) Prob(i int) float64 {
+	if i < 0 || i >= len(c.cdf) {
+		return 0
+	}
+	prev := 0.0
+	if i > 0 {
+		prev = c.cdf[i-1]
+	}
+	return (c.cdf[i] - prev) / c.total
+}
+
+// Sample draws one outcome index.
+func (c *Categorical) Sample(r *RNG) int {
+	u := r.Float64() * c.total
+	i := sort.SearchFloat64s(c.cdf, u)
+	// SearchFloat64s returns the first index with cdf[i] >= u; skip over any
+	// zero-weight outcomes that share a CDF value with their predecessor.
+	for i < len(c.cdf)-1 && c.cdf[i] == 0 {
+		i++
+	}
+	if i >= len(c.cdf) {
+		i = len(c.cdf) - 1
+	}
+	return i
+}

@@ -1,0 +1,91 @@
+package seqio
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dnastore/internal/dataset"
+)
+
+// Dataset bridging: a clustered dataset exports as a FASTA of references
+// plus a FASTQ of reads whose IDs encode the cluster assignment
+// ("cluster-<index>/read-<k>"), and imports back losslessly.
+
+// DatasetToFASTA returns the dataset's references as FASTA records named
+// "ref-<index>".
+func DatasetToFASTA(ds *dataset.Dataset) []Record {
+	out := make([]Record, len(ds.Clusters))
+	for i, c := range ds.Clusters {
+		out[i] = Record{ID: fmt.Sprintf("ref-%d", i), Seq: c.Ref}
+	}
+	return out
+}
+
+// DatasetToFASTQ returns every read as a FASTQ record whose ID carries the
+// cluster assignment.
+func DatasetToFASTQ(ds *dataset.Dataset, qual int) []Record {
+	var out []Record
+	for i, c := range ds.Clusters {
+		for k, read := range c.Reads {
+			q := byte(qual + 33)
+			out = append(out, Record{
+				ID:   fmt.Sprintf("cluster-%d/read-%d", i, k),
+				Seq:  read,
+				Qual: []byte(strings.Repeat(string(q), read.Len())),
+			})
+		}
+	}
+	return out
+}
+
+// WriteDataset writes the dataset as a reference FASTA and a read FASTQ.
+func WriteDataset(refW, readW io.Writer, ds *dataset.Dataset, qual int) error {
+	if err := WriteFASTA(refW, DatasetToFASTA(ds), 0); err != nil {
+		return err
+	}
+	return WriteFASTQ(readW, DatasetToFASTQ(ds, qual), qual)
+}
+
+// ReadDataset reconstructs a dataset from a reference FASTA and a read
+// FASTQ produced by WriteDataset. Reads whose IDs do not carry a cluster
+// assignment are rejected.
+func ReadDataset(refR, readR io.Reader) (*dataset.Dataset, error) {
+	refs, err := ReadFASTA(refR)
+	if err != nil {
+		return nil, err
+	}
+	ds := &dataset.Dataset{Clusters: make([]dataset.Cluster, len(refs))}
+	for i, rec := range refs {
+		ds.Clusters[i].Ref = rec.Seq
+	}
+	reads, err := ReadFASTQ(readR)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range reads {
+		idx, err := clusterIndex(rec.ID)
+		if err != nil {
+			return nil, err
+		}
+		if idx < 0 || idx >= len(ds.Clusters) {
+			return nil, fmt.Errorf("seqio: read %q references cluster %d of %d", rec.ID, idx, len(ds.Clusters))
+		}
+		ds.Clusters[idx].Reads = append(ds.Clusters[idx].Reads, rec.Seq)
+	}
+	return ds, nil
+}
+
+// clusterIndex extracts <i> from "cluster-<i>/read-<k>".
+func clusterIndex(id string) (int, error) {
+	rest, ok := strings.CutPrefix(id, "cluster-")
+	if !ok {
+		return 0, fmt.Errorf("seqio: read ID %q lacks cluster assignment", id)
+	}
+	num, _, ok := strings.Cut(rest, "/")
+	if !ok {
+		return 0, fmt.Errorf("seqio: read ID %q lacks cluster assignment", id)
+	}
+	return strconv.Atoi(num)
+}

@@ -1,0 +1,210 @@
+// Package seqio reads and writes the interchange formats of the sequencing
+// world: FASTA for reference strands and FASTQ for reads (real pipelines
+// receive sequencer output as FASTQ). It lets the simulator's datasets
+// flow to and from external tools — aligners, basecallers, plotting
+// scripts — without bespoke converters.
+package seqio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"dnastore/internal/dna"
+)
+
+// Record is one named sequence, optionally with FASTQ quality scores.
+type Record struct {
+	// ID is the header text after '>' or '@' (up to the first space).
+	ID string
+	// Desc is the remainder of the header line, if any.
+	Desc string
+	// Seq is the sequence.
+	Seq dna.Strand
+	// Qual holds Phred+33 quality bytes for FASTQ records; nil for FASTA.
+	Qual []byte
+}
+
+// WriteFASTA writes records in FASTA format, wrapping sequences at width
+// columns (no wrapping when width <= 0).
+func WriteFASTA(w io.Writer, records []Record, width int) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range records {
+		if rec.ID == "" {
+			return fmt.Errorf("seqio: record without ID")
+		}
+		header := ">" + rec.ID
+		if rec.Desc != "" {
+			header += " " + rec.Desc
+		}
+		if _, err := fmt.Fprintln(bw, header); err != nil {
+			return err
+		}
+		seq := string(rec.Seq)
+		if width <= 0 {
+			if _, err := fmt.Fprintln(bw, seq); err != nil {
+				return err
+			}
+			continue
+		}
+		for start := 0; start < len(seq); start += width {
+			end := start + width
+			if end > len(seq) {
+				end = len(seq)
+			}
+			if _, err := fmt.Fprintln(bw, seq[start:end]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFASTA parses FASTA records, concatenating wrapped sequence lines and
+// validating the alphabet.
+func ReadFASTA(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var records []Record
+	var cur *Record
+	var seq strings.Builder
+	line := 0
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		s := dna.Strand(seq.String())
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("seqio: record %q: %w", cur.ID, err)
+		}
+		cur.Seq = s
+		records = append(records, *cur)
+		cur = nil
+		seq.Reset()
+		return nil
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		switch {
+		case text == "":
+			continue
+		case strings.HasPrefix(text, ">"):
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			id, desc := splitHeader(text[1:])
+			if id == "" {
+				return nil, fmt.Errorf("seqio: line %d: empty FASTA header", line)
+			}
+			cur = &Record{ID: id, Desc: desc}
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("seqio: line %d: sequence before first header", line)
+			}
+			seq.WriteString(text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return records, nil
+}
+
+// WriteFASTQ writes records in four-line FASTQ format. Records without
+// quality bytes are assigned a constant quality derived from qualDefault
+// (Phred score, e.g. 20 → '5').
+func WriteFASTQ(w io.Writer, records []Record, qualDefault int) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range records {
+		if rec.ID == "" {
+			return fmt.Errorf("seqio: record without ID")
+		}
+		qual := rec.Qual
+		if qual == nil {
+			q := byte(qualDefault + 33)
+			if q < 33 || q > 126 {
+				return fmt.Errorf("seqio: default quality %d out of Phred+33 range", qualDefault)
+			}
+			qual = []byte(strings.Repeat(string(q), rec.Seq.Len()))
+		}
+		if len(qual) != rec.Seq.Len() {
+			return fmt.Errorf("seqio: record %q: quality length %d != sequence length %d",
+				rec.ID, len(qual), rec.Seq.Len())
+		}
+		header := "@" + rec.ID
+		if rec.Desc != "" {
+			header += " " + rec.Desc
+		}
+		if _, err := fmt.Fprintf(bw, "%s\n%s\n+\n%s\n", header, rec.Seq, qual); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFASTQ parses four-line FASTQ records, validating sequence alphabet
+// and quality length.
+func ReadFASTQ(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var records []Record
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			text := strings.TrimSpace(sc.Text())
+			if text != "" {
+				return text, true
+			}
+		}
+		return "", false
+	}
+	for {
+		header, ok := next()
+		if !ok {
+			break
+		}
+		if !strings.HasPrefix(header, "@") {
+			return nil, fmt.Errorf("seqio: line %d: expected '@' header, got %q", line, header)
+		}
+		seqLine, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("seqio: truncated FASTQ record at line %d", line)
+		}
+		plus, ok := next()
+		if !ok || !strings.HasPrefix(plus, "+") {
+			return nil, fmt.Errorf("seqio: line %d: expected '+' separator", line)
+		}
+		qualLine, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("seqio: truncated FASTQ record at line %d", line)
+		}
+		seq := dna.Strand(seqLine)
+		if err := seq.Validate(); err != nil {
+			return nil, fmt.Errorf("seqio: line %d: %w", line, err)
+		}
+		if len(qualLine) != seq.Len() {
+			return nil, fmt.Errorf("seqio: line %d: quality length %d != sequence length %d",
+				line, len(qualLine), seq.Len())
+		}
+		id, desc := splitHeader(header[1:])
+		records = append(records, Record{ID: id, Desc: desc, Seq: seq, Qual: []byte(qualLine)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return records, nil
+}
+
+func splitHeader(h string) (id, desc string) {
+	h = strings.TrimSpace(h)
+	if i := strings.IndexByte(h, ' '); i >= 0 {
+		return h[:i], strings.TrimSpace(h[i+1:])
+	}
+	return h, ""
+}

@@ -1,0 +1,186 @@
+package seqio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dnastore/internal/channel"
+)
+
+func TestFASTARoundTrip(t *testing.T) {
+	records := []Record{
+		{ID: "a", Seq: "ACGTACGT"},
+		{ID: "b", Desc: "second record", Seq: "TTTT"},
+		{ID: "c", Seq: ""},
+	}
+	for _, width := range []int{0, 3, 80} {
+		var buf bytes.Buffer
+		if err := WriteFASTA(&buf, records, width); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFASTA(&buf)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		if len(got) != len(records) {
+			t.Fatalf("width %d: got %d records", width, len(got))
+		}
+		for i := range records {
+			if got[i].ID != records[i].ID || got[i].Seq != records[i].Seq || got[i].Desc != records[i].Desc {
+				t.Errorf("width %d record %d: %+v != %+v", width, i, got[i], records[i])
+			}
+		}
+	}
+}
+
+func TestFASTAWrapping(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, []Record{{ID: "x", Seq: "ACGTACGTAC"}}, 4); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // header + 3 wrapped lines
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	if lines[1] != "ACGT" || lines[3] != "AC" {
+		t.Errorf("wrapping wrong: %v", lines)
+	}
+}
+
+func TestReadFASTAErrors(t *testing.T) {
+	cases := []string{
+		"ACGT\n",     // sequence before header
+		">\nACGT\n",  // empty header
+		">x\nACGN\n", // invalid base
+	}
+	for _, c := range cases {
+		if _, err := ReadFASTA(strings.NewReader(c)); err == nil {
+			t.Errorf("malformed FASTA accepted: %q", c)
+		}
+	}
+}
+
+func TestWriteFASTAErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, []Record{{Seq: "ACGT"}}, 0); err == nil {
+		t.Error("record without ID accepted")
+	}
+}
+
+func TestFASTQRoundTrip(t *testing.T) {
+	records := []Record{
+		{ID: "r1", Seq: "ACGT", Qual: []byte("IIII")},
+		{ID: "r2", Desc: "with desc", Seq: "GG", Qual: []byte("5!")},
+	}
+	var buf bytes.Buffer
+	if err := WriteFASTQ(&buf, records, 20); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFASTQ(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i := range records {
+		if got[i].ID != records[i].ID || got[i].Seq != records[i].Seq || string(got[i].Qual) != string(records[i].Qual) {
+			t.Errorf("record %d: %+v != %+v", i, got[i], records[i])
+		}
+	}
+}
+
+func TestFASTQDefaultQuality(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFASTQ(&buf, []Record{{ID: "x", Seq: "ACGT"}}, 30); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFASTQ(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[0].Qual) != "????" { // Phred 30 + 33 = '?'
+		t.Errorf("default quality = %q", got[0].Qual)
+	}
+	if err := WriteFASTQ(&buf, []Record{{ID: "x", Seq: "ACGT"}}, 200); err == nil {
+		t.Error("out-of-range default quality accepted")
+	}
+	if err := WriteFASTQ(&buf, []Record{{ID: "x", Seq: "ACGT", Qual: []byte("II")}}, 20); err == nil {
+		t.Error("quality length mismatch accepted")
+	}
+}
+
+func TestReadFASTQErrors(t *testing.T) {
+	cases := []string{
+		"not-a-header\nACGT\n+\nIIII\n",
+		"@x\nACGT\n",             // truncated
+		"@x\nACGT\nIIII\nIIII\n", // missing +
+		"@x\nACGN\n+\nIIII\n",    // invalid base
+		"@x\nACGT\n+\nII\n",      // quality length mismatch
+	}
+	for _, c := range cases {
+		if _, err := ReadFASTQ(strings.NewReader(c)); err == nil {
+			t.Errorf("malformed FASTQ accepted: %q", c)
+		}
+	}
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	refs := channel.RandomReferences(10, 40, 1)
+	sim := channel.Simulator{
+		Channel:  channel.NewNaive("n", channel.EqualMix(0.05)),
+		Coverage: channel.FixedCoverage(4),
+	}
+	ds := sim.Simulate("io", refs, 2)
+	ds.Clusters[3].Reads = nil // erasure survives the round trip
+
+	var refBuf, readBuf bytes.Buffer
+	if err := WriteDataset(&refBuf, &readBuf, ds, 20); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDataset(&refBuf, &readBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumClusters() != ds.NumClusters() {
+		t.Fatalf("clusters %d != %d", got.NumClusters(), ds.NumClusters())
+	}
+	for i := range ds.Clusters {
+		if got.Clusters[i].Ref != ds.Clusters[i].Ref {
+			t.Errorf("cluster %d ref mismatch", i)
+		}
+		if len(got.Clusters[i].Reads) != len(ds.Clusters[i].Reads) {
+			t.Errorf("cluster %d read count mismatch", i)
+			continue
+		}
+		for k := range ds.Clusters[i].Reads {
+			if got.Clusters[i].Reads[k] != ds.Clusters[i].Reads[k] {
+				t.Errorf("cluster %d read %d mismatch", i, k)
+			}
+		}
+	}
+}
+
+func TestReadDatasetRejectsForeignReads(t *testing.T) {
+	refFASTA := ">ref-0\nACGT\n"
+	badID := "@someread\nACGT\n+\nIIII\n"
+	if _, err := ReadDataset(strings.NewReader(refFASTA), strings.NewReader(badID)); err == nil {
+		t.Error("read without cluster assignment accepted")
+	}
+	outOfRange := "@cluster-9/read-0\nACGT\n+\nIIII\n"
+	if _, err := ReadDataset(strings.NewReader(refFASTA), strings.NewReader(outOfRange)); err == nil {
+		t.Error("out-of-range cluster accepted")
+	}
+}
+
+func TestClusterIndex(t *testing.T) {
+	if i, err := clusterIndex("cluster-17/read-3"); err != nil || i != 17 {
+		t.Errorf("clusterIndex = %d, %v", i, err)
+	}
+	for _, bad := range []string{"x", "cluster-", "cluster-abc/read-0", "cluster-5"} {
+		if _, err := clusterIndex(bad); err == nil {
+			t.Errorf("bad ID %q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dnastore/internal/codec"
+	"dnastore/internal/dna"
+	"dnastore/internal/rng"
+)
+
+// Pool persistence: a stored pool is the design-time artifact (what would
+// be sent to a synthesis vendor), so it serialises to JSON — keys, primers
+// and designed strands — and reloads into a fully functional Pool.
+
+// poolSnapshot is the stable on-disk representation.
+type poolSnapshot struct {
+	Version int            `json:"version"`
+	Options snapshotOpts   `json:"options"`
+	Objects []snapshotItem `json:"objects"`
+}
+
+type snapshotOpts struct {
+	PayloadBytes   int    `json:"payload_bytes"`
+	StrandParity   int    `json:"strand_parity"`
+	GroupData      int    `json:"group_data"`
+	GroupParity    int    `json:"group_parity"`
+	PrimerLength   int    `json:"primer_length"`
+	PrimerMismatch int    `json:"primer_mismatch"`
+	Seed           uint64 `json:"seed"`
+}
+
+type snapshotItem struct {
+	Key     string   `json:"key"`
+	Primer  string   `json:"primer"`
+	Strands []string `json:"strands"`
+}
+
+// poolVersion is the persistence format version.
+const poolVersion = 1
+
+// Save serialises the pool.
+func (p *Pool) Save(w io.Writer) error {
+	snap := poolSnapshot{
+		Version: poolVersion,
+		Options: snapshotOpts{
+			PayloadBytes:   p.opts.Archive.PayloadBytes,
+			StrandParity:   p.opts.Archive.StrandParity,
+			GroupData:      p.opts.Archive.GroupData,
+			GroupParity:    p.opts.Archive.GroupParity,
+			PrimerLength:   p.opts.PrimerConfig.Length,
+			PrimerMismatch: p.opts.PrimerMismatch,
+			Seed:           p.opts.Seed,
+		},
+	}
+	for _, key := range p.Keys() {
+		idx := p.keys[key]
+		item := snapshotItem{Key: key, Primer: string(p.primers[idx])}
+		for _, s := range p.objects[idx] {
+			item.Strands = append(item.Strands, string(s))
+		}
+		snap.Objects = append(snap.Objects, item)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(snap)
+}
+
+// Load deserialises a pool saved by Save. The reconstructor is restored to
+// the default (it is a runtime policy, not part of the design artifact).
+func Load(r io.Reader) (*Pool, error) {
+	var snap poolSnapshot
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&snap); err != nil {
+		return nil, fmt.Errorf("store: decode pool: %w", err)
+	}
+	if snap.Version != poolVersion {
+		return nil, fmt.Errorf("store: unsupported pool version %d", snap.Version)
+	}
+	p := New(Options{
+		Archive: codec.Archive{
+			PayloadBytes: snap.Options.PayloadBytes,
+			StrandParity: snap.Options.StrandParity,
+			GroupData:    snap.Options.GroupData,
+			GroupParity:  snap.Options.GroupParity,
+		},
+		PrimerConfig:   codec.PrimerConfig{Length: snap.Options.PrimerLength},
+		PrimerMismatch: snap.Options.PrimerMismatch,
+		Seed:           snap.Options.Seed,
+	})
+	// Advance the primer RNG deterministically past the stored objects so
+	// later Store calls draw fresh primers.
+	p.rng = rng.New(snap.Options.Seed ^ 0xd1a5704e5 ^ uint64(len(snap.Objects)+1))
+	for _, item := range snap.Objects {
+		if item.Key == "" {
+			return nil, fmt.Errorf("store: object with empty key")
+		}
+		if _, dup := p.keys[item.Key]; dup {
+			return nil, fmt.Errorf("store: duplicate key %q", item.Key)
+		}
+		primer := dna.Strand(item.Primer)
+		if err := primer.Validate(); err != nil {
+			return nil, fmt.Errorf("store: key %q primer: %w", item.Key, err)
+		}
+		strands := make([]dna.Strand, len(item.Strands))
+		for i, s := range item.Strands {
+			strands[i] = dna.Strand(s)
+			if err := strands[i].Validate(); err != nil {
+				return nil, fmt.Errorf("store: key %q strand %d: %w", item.Key, i, err)
+			}
+		}
+		p.keys[item.Key] = len(p.primers)
+		p.primers = append(p.primers, primer)
+		p.objects = append(p.objects, strands)
+	}
+	return p, nil
+}

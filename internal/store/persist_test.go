@@ -1,0 +1,80 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dnastore/internal/channel"
+	"dnastore/internal/codec"
+)
+
+func TestPoolSaveLoadRoundTrip(t *testing.T) {
+	p := New(Options{
+		Archive: codec.Archive{StrandParity: 8, GroupData: 10, GroupParity: 6},
+		Seed:    21,
+	})
+	docs := map[string][]byte{
+		"a": bytes.Repeat([]byte("alpha "), 10),
+		"b": bytes.Repeat([]byte("beta "), 12),
+	}
+	for k, v := range docs {
+		if err := p.Store(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(loaded.Keys(), ",") != strings.Join(p.Keys(), ",") {
+		t.Fatalf("keys changed: %v vs %v", loaded.Keys(), p.Keys())
+	}
+	if loaded.NumStrands() != p.NumStrands() {
+		t.Fatalf("strand count changed: %d vs %d", loaded.NumStrands(), p.NumStrands())
+	}
+	// The loaded pool retrieves through noise like the original.
+	ch := channel.NewNaive("seq", channel.NanoporeMix(0.02))
+	reads := loaded.Sequence(ch, channel.FixedCoverage(12), 5)
+	for k, want := range docs {
+		got, err := loaded.Retrieve(k, reads)
+		if err != nil {
+			t.Fatalf("Retrieve(%q) after load: %v", k, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("Retrieve(%q) corrupted after load", k)
+		}
+	}
+	// New objects can still be stored with distinct primers.
+	if err := loaded.Store("c", []byte("third object payload")); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, pr := range loaded.primers {
+		if seen[string(pr)] {
+			t.Fatal("duplicate primer after load+store")
+		}
+		seen[string(pr)] = true
+	}
+}
+
+func TestLoadRejectsMalformed(t *testing.T) {
+	cases := []string{
+		``,
+		`{"version": 99}`,
+		`{"version": 1, "objects": [{"key": "", "primer": "ACGT"}]}`,
+		`{"version": 1, "objects": [{"key": "x", "primer": "NOPE"}]}`,
+		`{"version": 1, "objects": [{"key": "x", "primer": "ACGT", "strands": ["BAD!"]}]}`,
+		`{"version": 1, "objects": [{"key": "x", "primer": "ACGT"}, {"key": "x", "primer": "TGCA"}]}`,
+		`{"version": 1, "unknown": true}`,
+	}
+	for _, c := range cases {
+		if _, err := Load(strings.NewReader(c)); err == nil {
+			t.Errorf("malformed pool accepted: %q", c)
+		}
+	}
+}
