@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test verify verify-race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 verification: everything must build and every test must pass.
+verify: build test
+
+# Race-detector pass over the concurrent packages: the simulator worker
+# pool (internal/channel) and the adaptive retrieve path (internal/store).
+verify-race:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/channel/... ./internal/store/...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

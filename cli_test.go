@@ -186,6 +186,55 @@ func TestCLIStoreRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCLIGetFaultInjection drives the resilient read path end to end: a
+// recoverable stochastic fault clears via retry with escalated coverage,
+// and an unrecoverable dead region exits non-zero after printing an
+// erasure report that names the lost strands.
+func TestCLIGetFaultInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI workflow builds binaries")
+	}
+	bin := buildCLIs(t)
+	work := t.TempDir()
+	pool := filepath.Join(work, "pool.json")
+	src := filepath.Join(work, "doc.txt")
+	dst := filepath.Join(work, "out.txt")
+	payload := []byte(strings.Repeat("archival payload line\n", 8))
+	if err := os.WriteFile(src, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runCLI(t, bin, "dnastore", "put", "-pool", pool, "-key", "doc", "-file", src)
+
+	// Cluster dropout at 50%: most single passes lose too many strands,
+	// but each retry re-rolls the dropout under a fresh derived seed.
+	out := runCLI(t, bin, "dnastore", "get", "-pool", pool, "-key", "doc", "-o", dst,
+		"-error", "0.01", "-coverage", "10", "-faults", "dropout=0.5", "-retries", "9", "-seed", "3")
+	_ = out
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Error("faulted round trip corrupted the payload")
+	}
+
+	// A dead region wider than the group parity can never be recovered:
+	// the command must exit non-zero and print the erasure report.
+	cmd := exec.Command(filepath.Join(bin, "dnastore"), "get", "-pool", pool, "-key", "doc",
+		"-o", dst, "-error", "0.01", "-coverage", "10", "-faults", "zerocov=0:8", "-retries", "1")
+	outBytes, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatal("unrecoverable get exited zero")
+	}
+	stderr := string(outBytes)
+	if !strings.Contains(stderr, "erasure report") {
+		t.Errorf("stderr missing erasure report:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "unrecovered strands") {
+		t.Errorf("stderr does not name unrecovered strands:\n%s", stderr)
+	}
+}
+
 func TestCLIFastqFormat(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI workflow builds binaries")

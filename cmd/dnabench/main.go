@@ -13,9 +13,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
@@ -60,6 +62,12 @@ func main() {
 		entries = []experiments.Entry{e}
 	}
 
+	// SIGINT drains gracefully: the workbench generation stops between
+	// clusters, the current experiment finishes, and everything already
+	// rendered or written stays on disk as partial results.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	needWB := false
 	for _, e := range entries {
 		if e.NeedsWorkbench {
@@ -71,7 +79,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "generating wetlab dataset (%d clusters) and calibrating...\n", scale.Clusters)
 		start := time.Now()
 		var err error
-		wb, err = experiments.NewWorkbench(scale)
+		wb, err = experiments.NewWorkbenchCtx(ctx, scale)
 		if err != nil {
 			fail(err)
 		}
@@ -87,6 +95,10 @@ func main() {
 	}
 
 	for _, e := range entries {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "dnabench: interrupted — partial results written")
+			os.Exit(130)
+		}
 		start := time.Now()
 		results, err := e.Run(wb, scale)
 		if err != nil {

@@ -15,14 +15,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"dnastore/internal/channel"
 	"dnastore/internal/dataset"
 	"dnastore/internal/dist"
 	"dnastore/internal/dna"
+	"dnastore/internal/faults"
 	"dnastore/internal/profile"
 )
 
@@ -40,6 +44,7 @@ func main() {
 		calibrate = flag.String("calibrate", "", "clusters file to fit the channel from (overrides -sub/-ins/-del)")
 		tier      = flag.String("tier", "second-order", "calibrated tier: naive, conditional, skew, second-order, dnasimulator")
 		seed      = flag.Uint64("seed", 1, "random seed")
+		faultSpec = flag.String("faults", "", "fault injection spec (e.g. dropout=0.1,truncate=0.3:0.5,contam=0.02,zerocov=10:5)")
 	)
 	flag.Parse()
 	if *refsPath == "" {
@@ -92,8 +97,22 @@ func main() {
 		fail(fmt.Errorf("unknown coverage model %q", *covModel))
 	}
 
+	spec, err := faults.ParseSpec(*faultSpec)
+	if err != nil {
+		fail(err)
+	}
+	ch, cov = spec.Wrap(ch, cov)
+
+	// SIGINT drains gracefully: the simulator stops between clusters and
+	// the partial dataset is still written out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	sim := channel.Simulator{Channel: ch, Coverage: cov}
-	ds := sim.Simulate("simulated", refs, *seed)
+	ds, simErr := sim.SimulateCtx(ctx, "simulated", refs, *seed)
+	if ds == nil {
+		fail(simErr)
+	}
 
 	w := os.Stdout
 	if *out != "-" {
@@ -109,6 +128,18 @@ func main() {
 	}
 	fmt.Fprintln(os.Stderr, sim.Describe())
 	fmt.Fprintln(os.Stderr, ds.ComputeStats())
+	if simErr != nil {
+		var se *channel.SimulationError
+		if errors.As(simErr, &se) {
+			fmt.Fprintf(os.Stderr, "dnasim: partial dataset: %v\n", se)
+		} else {
+			fmt.Fprintln(os.Stderr, "dnasim:", simErr)
+		}
+		if errors.Is(simErr, context.Canceled) {
+			os.Exit(130)
+		}
+		os.Exit(1)
+	}
 }
 
 func readRefs(path string) ([]dna.Strand, error) {

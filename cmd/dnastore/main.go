@@ -8,16 +8,27 @@
 //	dnastore put  -pool pool.json -key report.pdf -file report.pdf
 //	dnastore ls   -pool pool.json
 //	dnastore get  -pool pool.json -key report.pdf -o out.pdf -error 0.03 -coverage 14
+//
+// get runs the resilient read path: on decode failure it re-sequences with
+// escalated coverage (-retries, -backoff) and a fresh derived seed before
+// giving up with an erasure report. -faults injects pathological channel
+// conditions (cluster dropout, read truncation, contamination, dead
+// regions) for drills — see internal/faults for the spec syntax.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 
 	"dnastore/internal/channel"
 	"dnastore/internal/codec"
 	"dnastore/internal/dist"
+	"dnastore/internal/faults"
 	"dnastore/internal/store"
 )
 
@@ -51,7 +62,9 @@ subcommands:
   put  -pool <file> -key <key> -file <path>   store a file (creates the pool if absent)
   ls   -pool <file>                           list stored keys
   get  -pool <file> -key <key> -o <path>      retrieve through a simulated sequencing run
-       [-error 0.02] [-coverage 14] [-seed 7] [-skew]`)
+       [-error 0.02] [-coverage 14] [-seed 7] [-skew]
+       [-faults dropout=0.1,truncate=0.3:0.5,contam=0.02,zerocov=4:2]
+       [-retries 2] [-backoff 2.0]`)
 }
 
 // loadOrNewPool opens an existing pool file or creates a fresh pool.
@@ -79,6 +92,31 @@ func loadPool(path string) (*store.Pool, error) {
 	return store.Load(f)
 }
 
+// savePoolAtomic writes the pool to a temp file in the target's directory
+// and renames it into place, so a crash mid-save can never corrupt an
+// existing pool file.
+func savePoolAtomic(p *store.Pool, path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".pool-*.json")
+	if err != nil {
+		return err
+	}
+	if err := p.Save(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
 func cmdPut(args []string) error {
 	fs := flag.NewFlagSet("put", flag.ExitOnError)
 	pool := fs.String("pool", "pool.json", "pool file")
@@ -100,15 +138,7 @@ func cmdPut(args []string) error {
 	if err := p.Store(*key, data); err != nil {
 		return err
 	}
-	out, err := os.Create(*pool)
-	if err != nil {
-		return err
-	}
-	if err := p.Save(out); err != nil {
-		out.Close()
-		return err
-	}
-	if err := out.Close(); err != nil {
+	if err := savePoolAtomic(p, *pool); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "stored %q (%d bytes) — pool now holds %d objects in %d strands\n",
@@ -140,27 +170,61 @@ func cmdGet(args []string) error {
 	coverage := fs.Float64("coverage", 14, "mean sequencing coverage")
 	seed := fs.Uint64("seed", 7, "sequencing seed")
 	skew := fs.Bool("skew", false, "apply the Nanopore terminal error skew")
+	faultSpec := fs.String("faults", "", "fault injection spec (e.g. dropout=0.1,truncate=0.3)")
+	retries := fs.Int("retries", 2, "re-sequencing attempts after a failed decode")
+	backoff := fs.Float64("backoff", 2.0, "coverage escalation factor per retry")
 	fs.Parse(args)
 	if *key == "" || *out == "" {
 		return fmt.Errorf("get needs -key and -o")
+	}
+	spec, err := faults.ParseSpec(*faultSpec)
+	if err != nil {
+		return err
 	}
 	p, err := loadPool(*pool)
 	if err != nil {
 		return err
 	}
-	ch := channel.NewNaive("sequencer", channel.NanoporeMix(*errRate))
-	if *skew {
-		ch = ch.WithSpatial(dist.NanoporeSkew())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	factory := func(attempt int, scale float64) (channel.Channel, channel.CoverageModel) {
+		m := channel.NewNaive("sequencer", channel.NanoporeMix(*errRate))
+		if *skew {
+			m = m.WithSpatial(dist.NanoporeSkew())
+		}
+		mean := *coverage * scale
+		fmt.Fprintf(os.Stderr, "attempt %d: sequencing at %.1fx coverage, %.1f%% error\n",
+			attempt, mean, *errRate*100)
+		return spec.Wrap(m, channel.NegBinCoverage{Mean: mean, Dispersion: 6})
 	}
-	reads := p.Sequence(ch, channel.NegBinCoverage{Mean: *coverage, Dispersion: 6}, *seed)
-	fmt.Fprintf(os.Stderr, "sequenced the pool: %d reads at %.1f%% error\n", len(reads), *errRate*100)
-	data, err := p.Retrieve(*key, reads)
+	pol := store.RetryPolicy{
+		MaxAttempts: *retries + 1,
+		Backoff:     *backoff,
+		OnAttempt: func(attempt int, rep store.RetrieveReport, err error) {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "attempt %d failed: %v\n", attempt, err)
+			}
+		},
+	}
+	data, rep, attempts, err := p.RetrieveAdaptive(ctx, *key, factory, pol, *seed)
 	if err != nil {
+		var pre *store.PartialRecoveryError
+		if errors.As(err, &pre) {
+			// Surface the erasure report before the non-zero exit so
+			// operators see exactly which strands are gone, not just a
+			// decode error.
+			fmt.Fprintf(os.Stderr, "erasure report after %d attempts: %s\n", attempts, rep.Summary())
+			if errors.Is(pre.Err, context.Canceled) {
+				return fmt.Errorf("get %q interrupted", *key)
+			}
+		}
 		return err
 	}
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "recovered %q: %d bytes -> %s\n", *key, len(data), *out)
+	fmt.Fprintf(os.Stderr, "recovered %q: %d bytes -> %s (attempt %d; %s)\n",
+		*key, len(data), *out, attempts, rep.Summary())
 	return nil
 }

@@ -1,9 +1,12 @@
 package channel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dnastore/internal/dataset"
 	"dnastore/internal/dna"
@@ -21,17 +24,105 @@ type Simulator struct {
 	Coverage CoverageModel
 }
 
+// ClusterError records a single cluster whose simulation failed — most
+// commonly a panicking Channel implementation, which SimulateCtx isolates
+// per cluster instead of letting it tear down the process.
+type ClusterError struct {
+	// Index is the cluster (reference strand) index.
+	Index int
+	// Err is the recovered failure.
+	Err error
+}
+
+// Error implements error.
+func (e ClusterError) Error() string { return fmt.Sprintf("cluster %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying failure.
+func (e ClusterError) Unwrap() error { return e.Err }
+
+// SimulationError aggregates everything that cut a SimulateCtx run short.
+// The dataset returned alongside it is still structurally valid: failed and
+// skipped clusters degrade to their reference with zero reads, so partial
+// results can be written out or decoded with erasure handling.
+type SimulationError struct {
+	// Canceled is the context error when the run was interrupted, nil when
+	// only per-cluster failures occurred.
+	Canceled error
+	// Clusters lists the per-cluster failures in index order.
+	Clusters []ClusterError
+	// Completed and Total count fully simulated clusters versus requested.
+	Completed, Total int
+}
+
+// Error implements error.
+func (e *SimulationError) Error() string {
+	switch {
+	case e.Canceled != nil && len(e.Clusters) > 0:
+		return fmt.Sprintf("channel: simulation canceled after %d/%d clusters (%v) with %d cluster failures (first: %v)",
+			e.Completed, e.Total, e.Canceled, len(e.Clusters), e.Clusters[0])
+	case e.Canceled != nil:
+		return fmt.Sprintf("channel: simulation canceled after %d/%d clusters: %v", e.Completed, e.Total, e.Canceled)
+	case len(e.Clusters) == 1:
+		return fmt.Sprintf("channel: simulation completed %d/%d clusters: %v", e.Completed, e.Total, e.Clusters[0])
+	default:
+		return fmt.Sprintf("channel: simulation completed %d/%d clusters: %d cluster failures (first: %v)",
+			e.Completed, e.Total, len(e.Clusters), e.Clusters[0])
+	}
+}
+
+// Unwrap exposes the context error and each per-cluster error to
+// errors.Is/errors.As.
+func (e *SimulationError) Unwrap() []error {
+	var errs []error
+	if e.Canceled != nil {
+		errs = append(errs, e.Canceled)
+	}
+	for _, ce := range e.Clusters {
+		errs = append(errs, ce)
+	}
+	return errs
+}
+
 // Simulate produces one dataset. Each cluster's reads are generated from an
 // RNG split deterministically from the seed and cluster index, so results
 // are reproducible and independent of parallelism.
+//
+// Simulate is the legacy fail-fast wrapper around SimulateCtx: it panics on
+// a missing Channel or CoverageModel and on any per-cluster failure,
+// preserving the original "simulation is infallible" contract for callers
+// that want no error plumbing. Use SimulateCtx for cancellation, panic
+// isolation and partial results.
 func (s Simulator) Simulate(name string, refs []dna.Strand, seed uint64) *dataset.Dataset {
+	ds, err := s.SimulateCtx(context.Background(), name, refs, seed)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// SimulateCtx produces one dataset under a context. Cancellation is honored
+// between clusters: workers stop picking up new clusters once ctx is done,
+// and the partial dataset (completed clusters populated, the rest degraded
+// to zero reads) is returned together with a *SimulationError whose
+// Canceled field carries ctx.Err(). A panic inside Channel.Transmit or
+// CoverageModel.Sample is confined to its cluster and surfaces as a
+// ClusterError instead of killing the process.
+//
+// Output is byte-identical to Simulate for a run that completes without
+// faults: the same per-cluster RNG split scheme applies.
+func (s Simulator) SimulateCtx(ctx context.Context, name string, refs []dna.Strand, seed uint64) (*dataset.Dataset, error) {
 	if s.Channel == nil {
-		panic("channel: Simulator without a Channel")
+		return nil, fmt.Errorf("channel: Simulator without a Channel")
 	}
 	if s.Coverage == nil {
-		panic("channel: Simulator without a CoverageModel")
+		return nil, fmt.Errorf("channel: Simulator without a CoverageModel")
 	}
 	ds := &dataset.Dataset{Name: name, Clusters: make([]dataset.Cluster, len(refs))}
+	for i := range ds.Clusters {
+		// Pre-fill references so skipped or failed clusters degrade to an
+		// empty cluster rather than a hole.
+		ds.Clusters[i].Ref = refs[i]
+	}
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(refs) {
@@ -40,7 +131,12 @@ func (s Simulator) Simulate(name string, refs []dna.Strand, seed uint64) *datase
 	if workers < 1 {
 		workers = 1
 	}
-	var wg sync.WaitGroup
+	var (
+		wg          sync.WaitGroup
+		mu          sync.Mutex
+		clusterErrs []ClusterError
+		completed   atomic.Int64
+	)
 	chunk := (len(refs) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -55,25 +151,55 @@ func (s Simulator) Simulate(name string, refs []dna.Strand, seed uint64) *datase
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				// Per-cluster RNG derived from seed and index keeps output
-				// independent of worker scheduling.
-				r := rng.New(seed ^ (0x9e3779b97f4a7c15 * uint64(i+1)))
-				var n int
-				if ra, ok := s.Coverage.(RefAwareCoverage); ok {
-					n = ra.SampleRef(refs[i], i, r)
-				} else {
-					n = s.Coverage.Sample(i, r)
+				if ctx.Err() != nil {
+					return
 				}
-				reads := make([]dna.Strand, 0, n)
-				for k := 0; k < n; k++ {
-					reads = append(reads, s.Channel.Transmit(refs[i], r))
+				if err := s.simulateCluster(ds, refs, i, seed); err != nil {
+					mu.Lock()
+					clusterErrs = append(clusterErrs, ClusterError{Index: i, Err: err})
+					mu.Unlock()
+					continue
 				}
-				ds.Clusters[i] = dataset.Cluster{Ref: refs[i], Reads: reads}
+				completed.Add(1)
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
-	return ds
+	sort.Slice(clusterErrs, func(i, j int) bool { return clusterErrs[i].Index < clusterErrs[j].Index })
+	if ctxErr := ctx.Err(); ctxErr != nil || len(clusterErrs) > 0 {
+		return ds, &SimulationError{
+			Canceled:  ctxErr,
+			Clusters:  clusterErrs,
+			Completed: int(completed.Load()),
+			Total:     len(refs),
+		}
+	}
+	return ds, nil
+}
+
+// simulateCluster generates one cluster's reads, converting a panic in the
+// channel or coverage model into a returned error.
+func (s Simulator) simulateCluster(ds *dataset.Dataset, refs []dna.Strand, i int, seed uint64) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v", p)
+		}
+	}()
+	// Per-cluster RNG derived from seed and index keeps output independent
+	// of worker scheduling.
+	r := rng.New(seed ^ (0x9e3779b97f4a7c15 * uint64(i+1)))
+	var n int
+	if ra, ok := s.Coverage.(RefAwareCoverage); ok {
+		n = ra.SampleRef(refs[i], i, r)
+	} else {
+		n = s.Coverage.Sample(i, r)
+	}
+	reads := make([]dna.Strand, 0, n)
+	for k := 0; k < n; k++ {
+		reads = append(reads, s.Channel.Transmit(refs[i], r))
+	}
+	ds.Clusters[i] = dataset.Cluster{Ref: refs[i], Reads: reads}
+	return nil
 }
 
 // RandomReferences generates n uniformly random reference strands of the

@@ -1,8 +1,11 @@
 package channel
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"dnastore/internal/dna"
@@ -183,6 +186,140 @@ func TestSimulatorPanicsWithoutParts(t *testing.T) {
 	mustPanic("no coverage", func() {
 		Simulator{Channel: NewNaive("n", EqualMix(0.01))}.Simulate("x", refs, 1)
 	})
+}
+
+// panicOnRefChannel panics whenever asked to transmit the trigger strand —
+// a stand-in for a buggy channel implementation.
+type panicOnRefChannel struct{ trigger dna.Strand }
+
+func (p panicOnRefChannel) Transmit(ref dna.Strand, _ *rng.RNG) dna.Strand {
+	if ref == p.trigger {
+		panic("injected channel fault")
+	}
+	return ref
+}
+
+func (p panicOnRefChannel) Name() string { return "panic-on-ref" }
+
+func TestSimulateCtxPanicIsolation(t *testing.T) {
+	refs := RandomReferences(8, 30, 3)
+	sim := Simulator{Channel: panicOnRefChannel{trigger: refs[3]}, Coverage: FixedCoverage(2)}
+	ds, err := sim.SimulateCtx(context.Background(), "p", refs, 1)
+	if err == nil {
+		t.Fatal("panicking channel produced no error")
+	}
+	var se *SimulationError
+	if !errors.As(err, &se) {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if se.Canceled != nil {
+		t.Errorf("Canceled = %v on an uncanceled run", se.Canceled)
+	}
+	if len(se.Clusters) != 1 || se.Clusters[0].Index != 3 {
+		t.Fatalf("cluster errors = %+v, want exactly cluster 3", se.Clusters)
+	}
+	if se.Completed != 7 || se.Total != 8 {
+		t.Errorf("completed %d/%d, want 7/8", se.Completed, se.Total)
+	}
+	if ds == nil {
+		t.Fatal("no partial dataset")
+	}
+	for i, c := range ds.Clusters {
+		if c.Ref != refs[i] {
+			t.Errorf("cluster %d lost its reference", i)
+		}
+		want := 2
+		if i == 3 {
+			want = 0 // the failed cluster degrades to zero reads
+		}
+		if len(c.Reads) != want {
+			t.Errorf("cluster %d has %d reads, want %d", i, len(c.Reads), want)
+		}
+	}
+	// The legacy wrapper keeps the fail-fast contract: same fault panics.
+	defer func() {
+		if recover() == nil {
+			t.Error("Simulate did not propagate the cluster failure as a panic")
+		}
+	}()
+	sim.Simulate("p", refs, 1)
+}
+
+// cancelingChannel cancels the run's own context on its first transmission,
+// simulating an interrupt arriving mid-run.
+type cancelingChannel struct {
+	cancel context.CancelFunc
+	calls  *atomic.Int64
+}
+
+func (c cancelingChannel) Transmit(ref dna.Strand, _ *rng.RNG) dna.Strand {
+	if c.calls.Add(1) == 1 {
+		c.cancel()
+	}
+	return ref
+}
+
+func (c cancelingChannel) Name() string { return "canceling" }
+
+func TestSimulateCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	refs := RandomReferences(512, 20, 4)
+	var calls atomic.Int64
+	sim := Simulator{Channel: cancelingChannel{cancel: cancel, calls: &calls}, Coverage: FixedCoverage(1)}
+	ds, err := sim.SimulateCtx(ctx, "c", refs, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled via SimulationError", err)
+	}
+	var se *SimulationError
+	if !errors.As(err, &se) {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Completed >= len(refs) {
+		t.Errorf("cancellation did not stop early: completed %d/%d", se.Completed, se.Total)
+	}
+	populated := 0
+	for _, c := range ds.Clusters {
+		if len(c.Reads) > 0 {
+			populated++
+		}
+	}
+	if populated >= len(refs) {
+		t.Errorf("partial dataset has %d populated clusters of %d", populated, len(refs))
+	}
+	if populated != se.Completed {
+		t.Errorf("populated clusters %d != reported completed %d", populated, se.Completed)
+	}
+}
+
+func TestSimulateCtxConfigErrors(t *testing.T) {
+	refs := RandomReferences(1, 10, 1)
+	if _, err := (Simulator{Coverage: FixedCoverage(1)}).SimulateCtx(context.Background(), "x", refs, 1); err == nil {
+		t.Error("missing Channel accepted")
+	}
+	if _, err := (Simulator{Channel: NewNaive("n", EqualMix(0.01))}).SimulateCtx(context.Background(), "x", refs, 1); err == nil {
+		t.Error("missing CoverageModel accepted")
+	}
+}
+
+func TestSimulateCtxMatchesSimulate(t *testing.T) {
+	sim := Simulator{Channel: NewNaive("n", EqualMix(0.06)), Coverage: NegBinCoverage{Mean: 8, Dispersion: 3}}
+	refs := RandomReferences(25, 60, 6)
+	a := sim.Simulate("a", refs, 77)
+	b, err := sim.SimulateCtx(context.Background(), "b", refs, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Clusters {
+		if len(a.Clusters[i].Reads) != len(b.Clusters[i].Reads) {
+			t.Fatalf("cluster %d coverage differs", i)
+		}
+		for j := range a.Clusters[i].Reads {
+			if a.Clusters[i].Reads[j] != b.Clusters[i].Reads[j] {
+				t.Fatalf("cluster %d read %d differs between Simulate and SimulateCtx", i, j)
+			}
+		}
+	}
 }
 
 func TestCoverageModels(t *testing.T) {

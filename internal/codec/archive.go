@@ -157,23 +157,59 @@ func (a Archive) Encode(data []byte) ([]dna.Strand, error) {
 	return out, nil
 }
 
+// DecodeReport details per-strand outcomes of a Decode pass. Strand and
+// chunk are synonymous here: every designed strand carries exactly one
+// chunk, so the indexes below are designed-strand indexes.
+type DecodeReport struct {
+	// Strands is the number of reconstructed strands presented.
+	Strands int
+	// Undecodable counts presented strands whose codeword failed base
+	// decoding or per-strand RS entirely (treated as erased).
+	Undecodable int
+	// TotalChunks is the layout total (data + parity) from the majority
+	// vote, 0 when no strand decoded.
+	TotalChunks int
+	// Clean counts chunks recovered with zero RS corrections.
+	Clean int
+	// Repaired counts chunks that needed per-strand RS correction.
+	Repaired int
+	// Erased counts chunks missing entirely but rebuilt from group parity.
+	Erased int
+	// Unrecovered lists chunk indexes lost beyond parity capacity.
+	Unrecovered []int
+}
+
+// Recovered reports whether every chunk was accounted for.
+func (r *DecodeReport) Recovered() bool { return r.TotalChunks > 0 && len(r.Unrecovered) == 0 }
+
 // Decode reassembles the payload from reconstructed strands (in any order,
 // with duplicates, missing strands and residual errors tolerated up to the
 // configured redundancy).
 func (a Archive) Decode(strands []dna.Strand) ([]byte, error) {
+	data, _, err := a.DecodeReport(strands)
+	return data, err
+}
+
+// DecodeReport is Decode that also returns a per-strand erasure/repair
+// report. The report is always non-nil, including on failure, so callers
+// can surface which strands were lost; unrecoverable groups are all
+// collected rather than aborting at the first.
+func (a Archive) DecodeReport(strands []dna.Strand) ([]byte, *DecodeReport, error) {
+	report := &DecodeReport{Strands: len(strands)}
 	pb := a.payloadBytes()
 	gd, gp := a.group()
 	strandRS, err := NewRS(a.strandParity())
 	if err != nil {
-		return nil, err
+		return nil, report, err
 	}
 	groupRS, err := NewRS(gp)
 	if err != nil {
-		return nil, err
+		return nil, report, err
 	}
 
 	recLen := indexBytes + totalBytes + pb + a.strandParity()
 	chunks := map[int][]byte{}
+	repaired := map[int]bool{}
 	// A garbled reconstruction occasionally RS-miscorrects into a "valid"
 	// record carrying a junk index. Junk indexes are uniform over 2³², so
 	// bounding by a small multiple of the observed strand count rejects
@@ -183,10 +219,12 @@ func (a Archive) Decode(strands []dna.Strand) ([]byte, error) {
 	for _, s := range strands {
 		cw, err := a.codec().Decode(s)
 		if err != nil || len(cw) != recLen {
+			report.Undecodable++
 			continue // undecodable strand: treat as erased
 		}
-		rec, err := strandRS.Decode(cw, nil)
+		rec, nCorrected, err := strandRS.DecodeDetail(cw, nil)
 		if err != nil {
+			report.Undecodable++
 			continue // beyond per-strand parity: erased
 		}
 		idx := int(rec[0])<<24 | int(rec[1])<<16 | int(rec[2])<<8 | int(rec[3])
@@ -197,10 +235,11 @@ func (a Archive) Decode(strands []dna.Strand) ([]byte, error) {
 		totalVotes[tot]++
 		if _, dup := chunks[idx]; !dup {
 			chunks[idx] = append([]byte(nil), rec[indexBytes+totalBytes:]...)
+			repaired[idx] = nCorrected > 0
 		}
 	}
 	if len(chunks) == 0 {
-		return nil, fmt.Errorf("codec: no decodable strands")
+		return nil, report, fmt.Errorf("codec: no decodable strands")
 	}
 
 	// The layout descriptor is replicated on every strand; take the
@@ -214,10 +253,23 @@ func (a Archive) Decode(strands []dna.Strand) ([]byte, error) {
 	}
 	nChunks := dataChunkCount(total, gd, gp)
 	if nChunks <= 0 {
-		return nil, fmt.Errorf("codec: inconsistent strand count %d", total)
+		return nil, report, fmt.Errorf("codec: inconsistent strand count %d", total)
+	}
+	report.TotalChunks = total
+	for idx, wasRepaired := range repaired {
+		if idx >= total {
+			continue // junk index that slipped past plausibility bounds
+		}
+		if wasRepaired {
+			report.Repaired++
+		} else {
+			report.Clean++
+		}
 	}
 
-	// Group-level erasure recovery.
+	// Group-level erasure recovery. Unrecoverable groups are recorded and
+	// skipped so the report names every lost strand, not just the first
+	// failing group's.
 	nGroups := (nChunks + gd - 1) / gd
 	for g := 0; g < nGroups; g++ {
 		start := g * gd
@@ -242,7 +294,10 @@ func (a Archive) Decode(strands []dna.Strand) ([]byte, error) {
 			continue
 		}
 		if len(missing) > gp {
-			return nil, fmt.Errorf("codec: group %d lost %d strands, parity covers %d", g, len(missing), gp)
+			for _, i := range missing {
+				report.Unrecovered = append(report.Unrecovered, rows[i])
+			}
+			continue
 		}
 		// Column-wise erasure decode.
 		recovered := make([][]byte, len(rows))
@@ -253,43 +308,57 @@ func (a Archive) Decode(strands []dna.Strand) ([]byte, error) {
 				recovered[i] = make([]byte, pb)
 			}
 		}
+		groupOK := true
 		for c := 0; c < pb; c++ {
 			col := make([]byte, len(rows))
 			for i := range rows {
 				col[i] = recovered[i][c]
 			}
 			if _, err := groupRS.Decode(col, missing); err != nil {
-				return nil, fmt.Errorf("codec: group %d column %d unrecoverable: %w", g, c, err)
+				groupOK = false
+				break
 			}
 			for i := range rows {
 				recovered[i][c] = col[i]
 			}
 		}
+		if !groupOK {
+			for _, i := range missing {
+				report.Unrecovered = append(report.Unrecovered, rows[i])
+			}
+			continue
+		}
+		report.Erased += len(missing)
 		for i, r := range rows {
 			if chunks[r] == nil {
 				chunks[r] = recovered[i]
 			}
 		}
 	}
+	if len(report.Unrecovered) > 0 {
+		sort.Ints(report.Unrecovered)
+		return nil, report, fmt.Errorf("codec: %d strands unrecoverable (indexes %v)",
+			len(report.Unrecovered), report.Unrecovered)
+	}
 
 	// Reassemble the payload, undoing the per-chunk whitening.
 	var buf bytes.Buffer
 	for i := 0; i < nChunks; i++ {
 		if chunks[i] == nil {
-			return nil, fmt.Errorf("codec: chunk %d missing after recovery", i)
+			return nil, report, fmt.Errorf("codec: chunk %d missing after recovery", i)
 		}
 		whiten(chunks[i], i) // XOR keystream is an involution
 		buf.Write(chunks[i])
 	}
 	payload := buf.Bytes()
 	if len(payload) < 4 {
-		return nil, fmt.Errorf("codec: payload too short for header")
+		return nil, report, fmt.Errorf("codec: payload too short for header")
 	}
 	size := int(payload[0])<<24 | int(payload[1])<<16 | int(payload[2])<<8 | int(payload[3])
 	if size < 0 || size > len(payload)-4 {
-		return nil, fmt.Errorf("codec: corrupt payload size %d", size)
+		return nil, report, fmt.Errorf("codec: corrupt payload size %d", size)
 	}
-	return payload[4 : 4+size], nil
+	return payload[4 : 4+size], report, nil
 }
 
 // dataChunkCount inverts total = n + ceil(n/gd)*gp for the data count n.

@@ -231,6 +231,85 @@ func TestArchiveFailsBeyondRedundancy(t *testing.T) {
 	}
 }
 
+func TestArchiveDecodeReport(t *testing.T) {
+	// 156 payload bytes + 4 header = 160 = 8 chunks of 20: exactly one
+	// group of 8 data + 3 parity strands.
+	a := Archive{StrandParity: 6, GroupData: 8, GroupParity: 3}
+	data := bytes.Repeat([]byte("report"), 26)
+	strands, err := a.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strands) != 11 {
+		t.Fatalf("layout changed: %d strands, test assumes 11", len(strands))
+	}
+
+	t.Run("clean", func(t *testing.T) {
+		got, rep, err := a.DecodeReport(strands)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("clean decode: %v", err)
+		}
+		if rep.Clean != 11 || rep.Repaired != 0 || rep.Erased != 0 || len(rep.Unrecovered) != 0 {
+			t.Errorf("clean report: %+v", rep)
+		}
+		if !rep.Recovered() {
+			t.Error("clean decode not Recovered")
+		}
+	})
+
+	t.Run("erasures within capacity", func(t *testing.T) {
+		survivors := append([]dna.Strand(nil), strands[3:]...) // drop 3 data strands
+		got, rep, err := a.DecodeReport(survivors)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("erasure decode: %v", err)
+		}
+		if rep.Erased != 3 || rep.Clean != 8 {
+			t.Errorf("erasure report: %+v", rep)
+		}
+	})
+
+	t.Run("strand repaired by RS", func(t *testing.T) {
+		corrupted := append([]dna.Strand(nil), strands...)
+		b := []byte(corrupted[4])
+		for _, p := range []int{10, 30} {
+			if b[p] == 'A' {
+				b[p] = 'C'
+			} else {
+				b[p] = 'A'
+			}
+		}
+		corrupted[4] = dna.Strand(b)
+		got, rep, err := a.DecodeReport(corrupted)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("repair decode: %v", err)
+		}
+		if rep.Repaired != 1 || rep.Clean != 10 {
+			t.Errorf("repair report: %+v", rep)
+		}
+	})
+
+	t.Run("beyond capacity names the lost strands", func(t *testing.T) {
+		survivors := append([]dna.Strand(nil), strands[4:]...) // drop 4 > parity 3
+		_, rep, err := a.DecodeReport(survivors)
+		if err == nil {
+			t.Fatal("over-capacity decode succeeded")
+		}
+		if rep.Recovered() {
+			t.Error("failed decode reports Recovered")
+		}
+		want := []int{0, 1, 2, 3}
+		if len(rep.Unrecovered) != len(want) {
+			t.Fatalf("Unrecovered = %v, want %v", rep.Unrecovered, want)
+		}
+		for i, idx := range rep.Unrecovered {
+			if idx != want[i] {
+				t.Errorf("Unrecovered = %v, want %v", rep.Unrecovered, want)
+				break
+			}
+		}
+	})
+}
+
 func TestDataChunkCount(t *testing.T) {
 	for _, n := range []int{1, 5, 16, 17, 160, 1000} {
 		gd, gp := 16, 4

@@ -85,23 +85,31 @@ func (rs *RS) syndromes(cw []byte) ([]byte, bool) {
 // unknown errors are located automatically. It fails with
 // ErrTooManyErrors when the errata exceed capacity.
 func (rs *RS) Decode(cw []byte, erasePos []int) ([]byte, error) {
+	msg, _, err := rs.DecodeDetail(cw, erasePos)
+	return msg, err
+}
+
+// DecodeDetail is Decode that also reports how many errata symbols were
+// corrected; zero means the codeword was already clean. The count feeds
+// repair accounting (clean vs. RS-repaired strands) in erasure reports.
+func (rs *RS) DecodeDetail(cw []byte, erasePos []int) ([]byte, int, error) {
 	if len(cw) <= rs.NSym {
-		return nil, fmt.Errorf("codec: codeword shorter than parity (%d <= %d)", len(cw), rs.NSym)
+		return nil, 0, fmt.Errorf("codec: codeword shorter than parity (%d <= %d)", len(cw), rs.NSym)
 	}
 	if len(cw) > 255 {
-		return nil, fmt.Errorf("codec: codeword length %d exceeds 255", len(cw))
+		return nil, 0, fmt.Errorf("codec: codeword length %d exceeds 255", len(cw))
 	}
 	if len(erasePos) > rs.NSym {
-		return nil, ErrTooManyErrors
+		return nil, 0, ErrTooManyErrors
 	}
 	for _, p := range erasePos {
 		if p < 0 || p >= len(cw) {
-			return nil, fmt.Errorf("codec: erasure position %d out of range", p)
+			return nil, 0, fmt.Errorf("codec: erasure position %d out of range", p)
 		}
 	}
 	synd, clean := rs.syndromes(cw)
 	if clean {
-		return cw[:len(cw)-rs.NSym], nil
+		return cw[:len(cw)-rs.NSym], 0, nil
 	}
 	// Erasure locator from the known positions.
 	eraseLoc := []byte{1}
@@ -113,19 +121,19 @@ func (rs *RS) Decode(cw []byte, erasePos []int) ([]byte, error) {
 	// errata locator.
 	errLoc, err := rs.findErrataLocator(synd, eraseLoc, len(erasePos))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	pos, err := rs.findErrors(errLoc, len(cw))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if err := rs.correctErrata(cw, synd, pos); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if _, ok := rs.syndromes(cw); !ok {
-		return nil, ErrTooManyErrors
+		return nil, 0, ErrTooManyErrors
 	}
-	return cw[:len(cw)-rs.NSym], nil
+	return cw[:len(cw)-rs.NSym], len(pos), nil
 }
 
 // findErrataLocator runs Berlekamp–Massey seeded with the erasure locator.

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dnastore/internal/dataset"
@@ -52,13 +53,20 @@ type Workbench struct {
 // NewWorkbench generates the wetlab dataset at the given scale and
 // profiles it.
 func NewWorkbench(scale Scale) (*Workbench, error) {
+	return NewWorkbenchCtx(context.Background(), scale)
+}
+
+// NewWorkbenchCtx is NewWorkbench under a context, so long full-scale
+// generations can be interrupted (SIGINT in cmd/dnabench) between
+// clusters instead of running to completion.
+func NewWorkbenchCtx(ctx context.Context, scale Scale) (*Workbench, error) {
 	if scale.Clusters <= 0 {
 		return nil, fmt.Errorf("experiments: scale must have positive cluster count")
 	}
 	cfg := wetlab.DefaultConfig()
 	cfg.NumClusters = scale.Clusters
 	cfg.Seed = scale.Seed
-	real, err := wetlab.Generate(cfg)
+	real, err := wetlab.GenerateCtx(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,51 @@
+package faults
+
+import "dnastore/internal/rng"
+
+// CorruptMode selects how CorruptPool damages a serialized pool file.
+type CorruptMode int
+
+const (
+	// CorruptFlipBytes XORs N random bytes with random non-zero values —
+	// bit rot inside the file body.
+	CorruptFlipBytes CorruptMode = iota
+	// CorruptTruncate cuts the file at a random point — a crash mid-write.
+	CorruptTruncate
+	// CorruptGarbageHead overwrites the first N bytes with random garbage —
+	// a clobbered header or wrong file written over the pool.
+	CorruptGarbageHead
+)
+
+// CorruptPool returns a deterministically corrupted copy of a serialized
+// pool (or any byte blob) for exercising loader hardening; the input is
+// never modified. severity scales the damage: bytes flipped or overwritten
+// for the in-place modes, ignored for truncation (the cut point comes from
+// the RNG alone). The same data, mode, severity and RNG seed always yield
+// the same corruption.
+func CorruptPool(data []byte, mode CorruptMode, severity int, r *rng.RNG) []byte {
+	out := append([]byte(nil), data...)
+	if len(out) == 0 {
+		return out
+	}
+	if severity < 1 {
+		severity = 1
+	}
+	switch mode {
+	case CorruptFlipBytes:
+		for i := 0; i < severity; i++ {
+			pos := r.Intn(len(out))
+			out[pos] ^= byte(1 + r.Intn(255))
+		}
+	case CorruptTruncate:
+		out = out[:r.Intn(len(out))]
+	case CorruptGarbageHead:
+		n := severity
+		if n > len(out) {
+			n = len(out)
+		}
+		for i := 0; i < n; i++ {
+			out[i] = byte(r.Intn(256))
+		}
+	}
+	return out
+}

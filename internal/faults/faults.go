@@ -1,0 +1,157 @@
+// Package faults provides composable fault injectors for the DNA storage
+// pipeline. Real pools exhibit pathologies the happy-path simulator never
+// produces on demand: whole clusters vanish (failed PCR, storage decay —
+// Heckel et al. report strand dropout as a first-order effect), reads stop
+// short (polymerase drop-off, aborted nanopore passes), contamination
+// bursts inject alien or chimeric sequence, and synthesis defects zero out
+// contiguous plate regions.
+//
+// Each injector wraps an existing channel.Channel or channel.CoverageModel
+// and draws only from the RNG it is handed, so faulted datasets stay
+// deterministic under the simulator's split-RNG scheme: same seed + same
+// fault spec ⇒ byte-identical output. A Spec parses the CLI-facing
+// `-faults` string into a bundle of injectors, and CorruptPool damages
+// serialized pool files for exercising loader hardening.
+package faults
+
+import (
+	"fmt"
+
+	"dnastore/internal/channel"
+	"dnastore/internal/dna"
+	"dnastore/internal/rng"
+)
+
+// ClusterDropout wraps a CoverageModel and zeroes whole clusters with
+// probability P, modelling strand dropout. Unlike channel.ErasureCoverage
+// (which models the natural erasures observed in the wetlab data), this is
+// the injector half of a fault drill: the dropout draw comes from the
+// per-cluster RNG, so a fresh sequencing seed re-rolls which clusters
+// vanish — exactly what an adaptive re-sequencing retry exploits.
+type ClusterDropout struct {
+	// Base supplies the coverage of surviving clusters.
+	Base channel.CoverageModel
+	// P is the per-cluster dropout probability.
+	P float64
+}
+
+// Sample implements channel.CoverageModel.
+func (d ClusterDropout) Sample(i int, r *rng.RNG) int {
+	if r.Bool(d.P) {
+		return 0
+	}
+	return d.Base.Sample(i, r)
+}
+
+// Name implements channel.CoverageModel.
+func (d ClusterDropout) Name() string {
+	return fmt.Sprintf("%s+dropout(%.3f)", d.Base.Name(), d.P)
+}
+
+// ZeroCoverageRegion zeroes every cluster whose index lies in
+// [Start, Start+Len), modelling a spatially localised synthesis or plate
+// failure. It is fully deterministic — no RNG draw — which makes it the
+// injector of choice for tests that must erase exactly known strands.
+type ZeroCoverageRegion struct {
+	// Base supplies coverage outside the dead region.
+	Base channel.CoverageModel
+	// Start and Len delimit the dead cluster-index region.
+	Start, Len int
+}
+
+// Sample implements channel.CoverageModel.
+func (z ZeroCoverageRegion) Sample(i int, r *rng.RNG) int {
+	if i >= z.Start && i < z.Start+z.Len {
+		return 0
+	}
+	return z.Base.Sample(i, r)
+}
+
+// Name implements channel.CoverageModel.
+func (z ZeroCoverageRegion) Name() string {
+	return fmt.Sprintf("%s+zerocov(%d:%d)", z.Base.Name(), z.Start, z.Len)
+}
+
+// ReadTruncation wraps a Channel and cuts reads short: with probability P
+// per read, only a prefix survives, its fraction drawn uniformly from
+// [MinFrac, 1). Models polymerase drop-off and aborted sequencing passes,
+// which preferentially destroy strand suffixes.
+type ReadTruncation struct {
+	// Base produces the untruncated read.
+	Base channel.Channel
+	// P is the per-read truncation probability.
+	P float64
+	// MinFrac is the shortest surviving prefix fraction (default 0.2).
+	MinFrac float64
+}
+
+// Transmit implements channel.Channel.
+func (t ReadTruncation) Transmit(ref dna.Strand, r *rng.RNG) dna.Strand {
+	read := t.Base.Transmit(ref, r)
+	if !r.Bool(t.P) || read.Len() < 2 {
+		return read
+	}
+	minFrac := t.MinFrac
+	if minFrac <= 0 || minFrac >= 1 {
+		minFrac = 0.2
+	}
+	frac := minFrac + r.Float64()*(1-minFrac)
+	n := int(frac * float64(read.Len()))
+	if n < 1 {
+		n = 1
+	}
+	if n >= read.Len() {
+		return read
+	}
+	return read[:n]
+}
+
+// Name implements channel.Channel.
+func (t ReadTruncation) Name() string {
+	return fmt.Sprintf("%s+truncate(%.3f)", t.Base.Name(), t.P)
+}
+
+// ContaminationSpike wraps a Channel and replaces reads with contamination
+// at probability P: half the time a wholly foreign strand of comparable
+// length (carry-over from another pool), half the time a chimera keeping a
+// real prefix with an alien tail (template switching during PCR).
+type ContaminationSpike struct {
+	// Base produces the uncontaminated read.
+	Base channel.Channel
+	// P is the per-read contamination probability.
+	P float64
+}
+
+// Transmit implements channel.Channel.
+func (c ContaminationSpike) Transmit(ref dna.Strand, r *rng.RNG) dna.Strand {
+	if !r.Bool(c.P) {
+		return c.Base.Transmit(ref, r)
+	}
+	n := ref.Len()
+	if n < 2 {
+		n = 2
+	}
+	if r.Bool(0.5) {
+		return randomStrand(n, r)
+	}
+	read := c.Base.Transmit(ref, r)
+	if read.Len() < 2 {
+		return randomStrand(n, r)
+	}
+	cut := 1 + r.Intn(read.Len()-1)
+	return read[:cut] + randomStrand(read.Len()-cut, r)
+}
+
+// Name implements channel.Channel.
+func (c ContaminationSpike) Name() string {
+	return fmt.Sprintf("%s+contam(%.3f)", c.Base.Name(), c.P)
+}
+
+// randomStrand draws n uniform bases.
+func randomStrand(n int, r *rng.RNG) dna.Strand {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = dna.Base(r.Intn(dna.NumBases)).Byte()
+	}
+	return dna.Strand(buf)
+}

@@ -7,6 +7,8 @@ import (
 
 	"dnastore/internal/channel"
 	"dnastore/internal/codec"
+	"dnastore/internal/faults"
+	"dnastore/internal/rng"
 )
 
 func TestPoolSaveLoadRoundTrip(t *testing.T) {
@@ -76,5 +78,50 @@ func TestLoadRejectsMalformed(t *testing.T) {
 		if _, err := Load(strings.NewReader(c)); err == nil {
 			t.Errorf("malformed pool accepted: %q", c)
 		}
+	}
+}
+
+// TestLoadCorruptedPool feeds Load a valid pool file mangled by each fault
+// corruption mode. Load must never panic; structural damage (truncation,
+// garbage header) must be rejected, and byte flips must either be rejected
+// or produce a pool that still validates.
+func TestLoadCorruptedPool(t *testing.T) {
+	p := New(Options{
+		Archive: codec.Archive{StrandParity: 8, GroupData: 10, GroupParity: 6},
+		Seed:    21,
+	})
+	if err := p.Store("doc", bytes.Repeat([]byte("payload "), 20)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+
+	cases := []struct {
+		name     string
+		mode     faults.CorruptMode
+		severity int
+		wantErr  bool // modes that always destroy structure
+	}{
+		{"flip few bytes", faults.CorruptFlipBytes, 4, false},
+		{"flip many bytes", faults.CorruptFlipBytes, 64, false},
+		{"truncate", faults.CorruptTruncate, 1, true},
+		{"garbage head", faults.CorruptGarbageHead, 16, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 20; seed++ {
+				corrupted := faults.CorruptPool(clean, tc.mode, tc.severity, rng.New(seed))
+				loaded, err := Load(bytes.NewReader(corrupted))
+				if tc.wantErr && err == nil {
+					t.Fatalf("seed %d: structurally corrupted pool accepted", seed)
+				}
+				if err == nil && len(loaded.Keys()) == 0 {
+					t.Errorf("seed %d: accepted pool lost its objects", seed)
+				}
+			}
+		})
 	}
 }

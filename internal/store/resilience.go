@@ -1,0 +1,157 @@
+package store
+
+import (
+	"context"
+	"fmt"
+
+	"dnastore/internal/channel"
+	"dnastore/internal/dna"
+)
+
+// The resilient read path: erasure/repair reporting, a structured
+// partial-recovery error, and an adaptive re-sequencing loop that
+// escalates coverage on decode failure — the graceful-degradation half of
+// the fault-injection subsystem (see internal/faults).
+
+// RetrieveReport describes how each designed strand of an object fared on
+// the read path.
+type RetrieveReport struct {
+	// Key is the object key the retrieval targeted.
+	Key string
+	// ReadsSelected counts reads surviving PCR selection by the key's primer.
+	ReadsSelected int
+	// Clusters counts similarity clusters formed from the selected reads.
+	Clusters int
+	// TotalStrands is the object's designed strand count (data + parity).
+	TotalStrands int
+	// Clean counts strands decoded with zero RS corrections.
+	Clean int
+	// Repaired counts strands decoded after per-strand RS correction.
+	Repaired int
+	// Erased counts strands missing entirely but rebuilt from group parity.
+	Erased int
+	// Unrecovered lists designed strand indexes lost beyond parity capacity.
+	Unrecovered []int
+}
+
+// Recovered reports whether every strand was accounted for.
+func (r RetrieveReport) Recovered() bool { return len(r.Unrecovered) == 0 }
+
+// Summary renders a one-line operator-facing account of the read path.
+func (r RetrieveReport) Summary() string {
+	status := "recovered"
+	if !r.Recovered() {
+		status = fmt.Sprintf("unrecovered strands %v", r.Unrecovered)
+	}
+	return fmt.Sprintf("key %q: %d reads in %d clusters; strands %d clean, %d repaired, %d erased of %d; %s",
+		r.Key, r.ReadsSelected, r.Clusters, r.Clean, r.Repaired, r.Erased, r.TotalStrands, status)
+}
+
+// PartialRecoveryError reports an object that could not be fully recovered
+// within the bounded re-sequencing attempts. It carries the final erasure
+// report so callers can act on the partial outcome (e.g. name the lost
+// strands) instead of seeing an opaque decode failure.
+type PartialRecoveryError struct {
+	// Key is the unrecoverable object.
+	Key string
+	// Attempts is the number of sequencing attempts used.
+	Attempts int
+	// Report is the erasure report of the final attempt.
+	Report RetrieveReport
+	// Err is the last underlying failure.
+	Err error
+}
+
+// Error implements error.
+func (e *PartialRecoveryError) Error() string {
+	return fmt.Sprintf("store: %q unrecovered after %d attempts: %v (%s)",
+		e.Key, e.Attempts, e.Err, e.Report.Summary())
+}
+
+// Unwrap exposes the last underlying failure.
+func (e *PartialRecoveryError) Unwrap() error { return e.Err }
+
+// SequencerFactory builds the channel and coverage model for one sequencing
+// attempt of RetrieveAdaptive. scale is the cumulative coverage escalation
+// factor: 1 on the first attempt, multiplied by the policy backoff after
+// each failure, so the factory should scale its mean coverage by it.
+type SequencerFactory func(attempt int, scale float64) (channel.Channel, channel.CoverageModel)
+
+// RetryPolicy bounds the adaptive re-sequencing loop.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of sequencing attempts (default 3).
+	MaxAttempts int
+	// Backoff is the multiplicative coverage escalation per failed attempt
+	// (default 2).
+	Backoff float64
+	// OnAttempt, when set, observes each finished attempt: its report and
+	// its error (nil on success). Used by CLIs to stream progress.
+	OnAttempt func(attempt int, rep RetrieveReport, err error)
+}
+
+// RetrieveAdaptive runs the resilient read path end to end: sequence the
+// pool, decode the object, and on failure retry with escalated coverage
+// and a fresh derived seed — a cluster dropped by a stochastic fault in
+// one pass is re-drawn in the next, and higher coverage rescues clusters
+// starved below reconstruction quality. Cancellation is honored between
+// clusters and between attempts. On success it returns the data, the final
+// report and the attempts used; on exhaustion (or cancellation) the error
+// is a *PartialRecoveryError carrying the last report.
+func (p *Pool) RetrieveAdaptive(ctx context.Context, key string, factory SequencerFactory, pol RetryPolicy, seed uint64) ([]byte, RetrieveReport, int, error) {
+	maxAttempts := pol.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+	backoff := pol.Backoff
+	if backoff <= 1 {
+		backoff = 2
+	}
+	// An unknown key is not retryable: fail before sequencing anything.
+	if _, ok := p.keys[key]; !ok {
+		return nil, RetrieveReport{Key: key}, 0, fmt.Errorf("store: unknown key %q", key)
+	}
+	scale := 1.0
+	lastRep := RetrieveReport{Key: key}
+	var lastErr error
+	attempts := 0
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			lastErr = err
+			break
+		}
+		attempts = attempt
+		ch, cov := factory(attempt, scale)
+		var reads []dna.Strand
+		reads, seqErr := p.SequenceCtx(ctx, ch, cov, deriveAttemptSeed(seed, attempt))
+		if ctx.Err() != nil {
+			lastErr = ctx.Err()
+			break
+		}
+		// Non-cancellation simulation errors (isolated cluster panics)
+		// degrade to missing reads; the decode's erasure handling takes it
+		// from there.
+		_ = seqErr
+		data, rep, err := p.RetrieveReport(key, reads)
+		lastRep, lastErr = rep, err
+		if pol.OnAttempt != nil {
+			pol.OnAttempt(attempt, rep, err)
+		}
+		if err == nil {
+			return data, rep, attempt, nil
+		}
+		scale *= backoff
+	}
+	if attempts == 0 {
+		attempts = 1
+	}
+	return nil, lastRep, attempts, &PartialRecoveryError{Key: key, Attempts: attempts, Report: lastRep, Err: lastErr}
+}
+
+// deriveAttemptSeed splits a fresh sequencing seed per attempt (SplitMix64
+// finalizer), so retries re-roll every stochastic choice.
+func deriveAttemptSeed(seed uint64, attempt int) uint64 {
+	z := seed + uint64(attempt)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -8,6 +8,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -143,18 +144,34 @@ func (p *Pool) NumStrands() int {
 // Retrieve recovers the object stored under key from a pool-wide
 // sequencing read-out (unordered noisy reads of the *tagged* strands):
 // PCR selection by the key's primer, similarity clustering,
-// reconstruction and archive decoding.
+// reconstruction and archive decoding. It is RetrieveReport without the
+// erasure report.
 func (p *Pool) Retrieve(key string, reads []dna.Strand) ([]byte, error) {
+	data, _, err := p.RetrieveReport(key, reads)
+	return data, err
+}
+
+// RetrieveReport is Retrieve plus a per-strand erasure/repair report: how
+// many designed strands came back clean, were repaired by per-strand RS,
+// were erased and rebuilt from group parity, or were lost outright. The
+// report is always meaningful, including on failure, so callers can
+// surface exactly which strands an unrecoverable object is missing.
+func (p *Pool) RetrieveReport(key string, reads []dna.Strand) ([]byte, RetrieveReport, error) {
+	rep := RetrieveReport{Key: key}
 	idx, ok := p.keys[key]
 	if !ok {
-		return nil, fmt.Errorf("store: unknown key %q", key)
+		return nil, rep, fmt.Errorf("store: unknown key %q", key)
 	}
+	rep.TotalStrands = len(p.objects[idx])
 	primer := p.primers[idx]
 	selected := codec.SelectAmplify(reads, primer, p.opts.PrimerMismatch)
+	rep.ReadsSelected = len(selected)
 	if len(selected) == 0 {
-		return nil, fmt.Errorf("store: no reads amplified for key %q", key)
+		rep.Unrecovered = allStrandIndexes(rep.TotalStrands)
+		return nil, rep, fmt.Errorf("store: no reads amplified for key %q", key)
 	}
 	clusters := cluster.Greedy(selected, cluster.Config{})
+	rep.Clusters = len(clusters)
 	length := p.opts.Archive.StrandLength()
 	var recovered []dna.Strand
 	for _, members := range clusters {
@@ -163,11 +180,26 @@ func (p *Pool) Retrieve(key string, reads []dna.Strand) ([]byte, error) {
 		}
 		recovered = append(recovered, p.opts.Reconstructor.Reconstruct(members, length))
 	}
-	data, err := p.opts.Archive.Decode(recovered)
+	data, dr, err := p.opts.Archive.DecodeReport(recovered)
+	rep.Clean, rep.Repaired, rep.Erased = dr.Clean, dr.Repaired, dr.Erased
+	rep.Unrecovered = dr.Unrecovered
 	if err != nil {
-		return nil, fmt.Errorf("store: decoding %q: %w", key, err)
+		if dr.TotalChunks == 0 {
+			// Decoding never framed the layout; every strand is lost.
+			rep.Unrecovered = allStrandIndexes(rep.TotalStrands)
+		}
+		return nil, rep, fmt.Errorf("store: decoding %q: %w", key, err)
 	}
-	return data, nil
+	return data, rep, nil
+}
+
+// allStrandIndexes lists 0..n-1, the "everything lost" erasure set.
+func allStrandIndexes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
 }
 
 // Sequence pushes the whole pool through a noisy channel at the given
@@ -178,6 +210,19 @@ func (p *Pool) Sequence(ch channel.Channel, cov channel.CoverageModel, seed uint
 	sim := channel.Simulator{Channel: ch, Coverage: cov}
 	ds := sim.Simulate("pool", p.DesignedStrands(), seed)
 	return ds.AllReads(rng.New(seed + 1))
+}
+
+// SequenceCtx is Sequence under a context: cancellation stops the
+// simulated sequencing run between clusters, and per-cluster channel
+// panics degrade to missing reads instead of killing the process. The
+// partial read pool is returned alongside any *channel.SimulationError.
+func (p *Pool) SequenceCtx(ctx context.Context, ch channel.Channel, cov channel.CoverageModel, seed uint64) ([]dna.Strand, error) {
+	sim := channel.Simulator{Channel: ch, Coverage: cov}
+	ds, err := sim.SimulateCtx(ctx, "pool", p.DesignedStrands(), seed)
+	if ds == nil {
+		return nil, err
+	}
+	return ds.AllReads(rng.New(seed + 1)), err
 }
 
 // distAtMost reports the edit distance between two strands when it is at

@@ -17,6 +17,7 @@
 package wetlab
 
 import (
+	"context"
 	"fmt"
 
 	"dnastore/internal/align"
@@ -184,6 +185,13 @@ func GenerateIllumina(cfg Config) (*dataset.Dataset, error) {
 
 // Generate produces the synthetic "real Nanopore" dataset.
 func Generate(cfg Config) (*dataset.Dataset, error) {
+	return GenerateCtx(context.Background(), cfg)
+}
+
+// GenerateCtx is Generate under a context: cancellation stops the
+// simulation between clusters and returns the context error instead of a
+// partially filled dataset.
+func GenerateCtx(ctx context.Context, cfg Config) (*dataset.Dataset, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -195,7 +203,10 @@ func Generate(cfg Config) (*dataset.Dataset, error) {
 			P:    cfg.ErasureP,
 		},
 	}
-	ds := sim.Simulate("Nanopore", refs, cfg.Seed+0x5743)
+	ds, err := sim.SimulateCtx(ctx, "Nanopore", refs, cfg.Seed+0x5743)
+	if err != nil {
+		return nil, err
+	}
 	return ds, nil
 }
 
