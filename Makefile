@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-race bench
+.PHONY: build test verify verify-race fuzz-smoke bench
 
 build:
 	$(GO) build ./...
@@ -8,14 +8,23 @@ build:
 test:
 	$(GO) test ./...
 
-# Tier-1 verification: everything must build and every test must pass.
-verify: build test
+# Tier-1 verification plus the race and fuzz gates — the target CI runs.
+verify: build test verify-race fuzz-smoke
 
 # Race-detector pass over the concurrent packages: the simulator worker
-# pool (internal/channel) and the adaptive retrieve path (internal/store).
+# pool and checkpointing (internal/channel), the adaptive retrieve path
+# (internal/store), and the journal (internal/durable).
 verify-race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/channel/... ./internal/store/...
+	$(GO) test -race ./internal/channel/... ./internal/store/... ./internal/durable/...
+
+# Short fuzz pass over every parser that consumes on-disk bytes: the
+# durable container reader, the pool loader, and the FASTA/FASTQ parsers.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReadContainer -fuzztime=10s ./internal/durable/
+	$(GO) test -run='^$$' -fuzz=FuzzLoadPool -fuzztime=10s ./internal/store/
+	$(GO) test -run='^$$' -fuzz=FuzzReadFASTA -fuzztime=10s ./internal/seqio/
+	$(GO) test -run='^$$' -fuzz=FuzzReadFASTQ -fuzztime=10s ./internal/seqio/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -6,6 +6,7 @@ package dnastore
 // the reported numbers are sane.
 
 import (
+	"bytes"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -13,8 +14,12 @@ import (
 	"sync"
 	"testing"
 
+	"dnastore/internal/channel"
 	"dnastore/internal/dataset"
+	"dnastore/internal/faults"
 	"dnastore/internal/profile"
+	"dnastore/internal/rng"
+	"dnastore/internal/store"
 )
 
 var (
@@ -91,14 +96,12 @@ func TestCLIWorkflow(t *testing.T) {
 	if !strings.Contains(out, "aggregate") || !strings.Contains(out, "Top 10 second-order errors") {
 		t.Errorf("dnaprofile output missing sections:\n%s", out)
 	}
-	pf, err := os.Open(profJSON)
-	if err != nil {
-		t.Fatal(err)
-	}
-	p, err := profile.ReadJSON(pf)
-	pf.Close()
+	p, legacy, err := profile.ReadFile(profJSON)
 	if err != nil {
 		t.Fatalf("saved profile unreadable: %v", err)
+	}
+	if legacy {
+		t.Error("dnaprofile wrote a legacy (uncontainered) profile")
 	}
 	if p.AggregateRate() < 0.04 || p.AggregateRate() > 0.09 {
 		t.Errorf("saved profile aggregate = %v", p.AggregateRate())
@@ -265,4 +268,201 @@ func refsText(ds *dataset.Dataset) string {
 		sb.WriteByte('\n')
 	}
 	return sb.String()
+}
+
+// TestCLICheckpointCrashDrill kills dnasim mid-run (the -crash-after drill
+// exits like a SIGKILL after N durable commits), tears the checkpoint's
+// tail the way a crash tears a file, then reruns and demands the resumed
+// output be byte-identical to an uninterrupted run.
+func TestCLICheckpointCrashDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI workflow builds binaries")
+	}
+	bin := buildCLIs(t)
+	work := t.TempDir()
+	refs := filepath.Join(work, "refs.txt")
+	golden := filepath.Join(work, "golden.txt")
+	out := filepath.Join(work, "out.txt")
+	ckpt := filepath.Join(work, "run.ckpt")
+
+	var sb strings.Builder
+	for _, ref := range channel.RandomReferences(60, 80, 17) {
+		sb.WriteString(string(ref))
+		sb.WriteByte('\n')
+	}
+	if err := os.WriteFile(refs, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	simArgs := []string{"-refs", refs, "-coverage", "5", "-sub", "0.02", "-del", "0.01", "-seed", "9"}
+
+	runCLI(t, bin, "dnasim", append(simArgs, "-o", golden)...)
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash after 20 committed clusters.
+	crash := exec.Command(filepath.Join(bin, "dnasim"),
+		append(simArgs, "-o", out, "-checkpoint", ckpt, "-crash-after", "20")...)
+	crashOut, err := crash.CombinedOutput()
+	if err == nil {
+		t.Fatalf("crash drill exited zero:\n%s", crashOut)
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Error("crashed run left an output file")
+	}
+
+	// A real crash can also tear the frame being appended: keep the first
+	// half (header + committed clusters) and cut somewhere in the tail.
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := len(data) / 2
+	torn := append(append([]byte(nil), data[:keep]...), faults.TornWrite(data[keep:], rng.New(3))...)
+	if err := os.WriteFile(ckpt, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: must report the resume, finish, and remove the checkpoint.
+	resume := exec.Command(filepath.Join(bin, "dnasim"), append(simArgs, "-o", out, "-checkpoint", ckpt)...)
+	resumeOut, err := resume.CombinedOutput()
+	if err != nil {
+		t.Fatalf("resume failed: %v\n%s", err, resumeOut)
+	}
+	if !strings.Contains(string(resumeOut), "resuming") {
+		t.Errorf("resume did not report journaled progress:\n%s", resumeOut)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("resumed dataset is not byte-identical to the uninterrupted run")
+	}
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Error("completed run left its checkpoint behind")
+	}
+
+	// Resuming against different parameters must be refused.
+	wrong := exec.Command(filepath.Join(bin, "dnasim"),
+		append(simArgs, "-o", out, "-checkpoint", ckpt, "-crash-after", "20")...)
+	if wrongOut, err := wrong.CombinedOutput(); err == nil {
+		_ = wrongOut
+	}
+	other := exec.Command(filepath.Join(bin, "dnasim"),
+		"-refs", refs, "-coverage", "5", "-sub", "0.02", "-del", "0.01", "-seed", "10",
+		"-o", out, "-checkpoint", ckpt)
+	if mixOut, err := other.CombinedOutput(); err == nil {
+		t.Errorf("checkpoint from seed 9 accepted by seed 10 run:\n%s", mixOut)
+	}
+}
+
+// TestCLIScrub drives scrub/repair end to end: a clean pool scrubs green,
+// injected bit rot is detected and repaired in place, torn writes are
+// reported as truncation, and legacy JSON pools load with a warning.
+func TestCLIScrub(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI workflow builds binaries")
+	}
+	bin := buildCLIs(t)
+	work := t.TempDir()
+	pool := filepath.Join(work, "pool.dnac")
+	src := filepath.Join(work, "doc.txt")
+	dst := filepath.Join(work, "out.txt")
+	payload := []byte(strings.Repeat("scrubbed payload line\n", 8))
+	if err := os.WriteFile(src, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runCLI(t, bin, "dnastore", "put", "-pool", pool, "-key", "doc", "-file", src)
+
+	// Clean scrub exits zero and reports healthy checksums.
+	out := runCLI(t, bin, "dnastore", "scrub", work)
+	if !strings.Contains(out, "all checksums ok") {
+		t.Errorf("clean scrub output:\n%s", out)
+	}
+
+	// Inject bit rot inside the frame body, within the parity budget.
+	data, err := os.ReadFile(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodyStart := 12 + 2 + len("pool.json") + 8
+	rotted := faults.BitRotRange(data, bodyStart, len(data)-20, 6, rng.New(21))
+	if err := os.WriteFile(pool, rotted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Detection: scrub must see every injected fault and exit non-zero.
+	detect := exec.Command(filepath.Join(bin, "dnastore"), "scrub", pool)
+	detectOut, err := detect.CombinedOutput()
+	if err == nil {
+		t.Fatalf("scrub of a rotted pool exited zero:\n%s", detectOut)
+	}
+	if !strings.Contains(string(detectOut), "repairable") {
+		t.Errorf("scrub did not flag repairable damage:\n%s", detectOut)
+	}
+
+	// Repair restores the container; a follow-up scrub and get both pass.
+	repairOut := runCLI(t, bin, "dnastore", "scrub", "-repair", pool)
+	if !strings.Contains(repairOut, "repaired") {
+		t.Errorf("repair output:\n%s", repairOut)
+	}
+	if out := runCLI(t, bin, "dnastore", "scrub", pool); !strings.Contains(out, "all checksums ok") {
+		t.Errorf("post-repair scrub:\n%s", out)
+	}
+	runCLI(t, bin, "dnastore", "get", "-pool", pool, "-key", "doc", "-o", dst,
+		"-error", "0.01", "-coverage", "12")
+	if got, _ := os.ReadFile(dst); !bytes.Equal(got, payload) {
+		t.Error("payload corrupted after repair")
+	}
+
+	// A torn write is reported as truncation and is not repairable.
+	clean, err := os.ReadFile(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(pool, clean[:len(clean)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tornCmd := exec.Command(filepath.Join(bin, "dnastore"), "scrub", pool)
+	tornOut, err := tornCmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("scrub of a torn pool exited zero:\n%s", tornOut)
+	}
+	if !strings.Contains(string(tornOut), "TRUNCATED") {
+		t.Errorf("torn pool not reported as truncated:\n%s", tornOut)
+	}
+	if err := os.WriteFile(pool, clean, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Legacy pools: scrub names them, ls warns but still works.
+	legacy := filepath.Join(work, "legacy.json")
+	p, _, err := store.LoadFile(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf, err := os.Create(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Save(lf); err != nil {
+		t.Fatal(err)
+	}
+	lf.Close()
+	if out := runCLI(t, bin, "dnastore", "scrub", legacy); !strings.Contains(out, "legacy format") {
+		t.Errorf("legacy scrub output:\n%s", out)
+	}
+	lsCmd := exec.Command(filepath.Join(bin, "dnastore"), "ls", "-pool", legacy)
+	lsOut, err := lsCmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("ls on legacy pool: %v\n%s", err, lsOut)
+	}
+	if !strings.Contains(string(lsOut), "legacy JSON pool") {
+		t.Errorf("ls did not warn about the legacy pool:\n%s", lsOut)
+	}
+	if !strings.Contains(string(lsOut), "doc") {
+		t.Errorf("legacy pool did not list its key:\n%s", lsOut)
+	}
 }

@@ -49,15 +49,9 @@ func main() {
 	}
 
 	if *jsonOut != "" {
-		jf, err := os.Create(*jsonOut)
-		if err != nil {
-			fail(err)
-		}
-		if err := p.WriteJSON(jf); err != nil {
-			jf.Close()
-			fail(err)
-		}
-		if err := jf.Close(); err != nil {
+		// Atomic, checksummed, parity-protected container: a calibration
+		// artifact survives torn writes and limited bit rot.
+		if err := p.WriteFile(*jsonOut); err != nil {
 			fail(err)
 		}
 	}

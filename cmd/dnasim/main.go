@@ -26,25 +26,28 @@ import (
 	"dnastore/internal/dataset"
 	"dnastore/internal/dist"
 	"dnastore/internal/dna"
+	"dnastore/internal/durable"
 	"dnastore/internal/faults"
 	"dnastore/internal/profile"
 )
 
 func main() {
 	var (
-		refsPath  = flag.String("refs", "", "reference strands file (one per line, required)")
-		out       = flag.String("o", "-", "output clusters file (- for stdout)")
-		coverage  = flag.Float64("coverage", 6, "fixed coverage, or the mean when -coverage-model is stochastic")
-		covModel  = flag.String("coverage-model", "fixed", "coverage model: fixed, negbin, poisson, normal")
-		sub       = flag.Float64("sub", 0, "substitution probability per base")
-		ins       = flag.Float64("ins", 0, "insertion probability per base")
-		del       = flag.Float64("del", 0, "deletion probability per base")
-		spatial   = flag.String("spatial", "uniform", "spatial distribution: uniform, a-shape, v-shape, terminal-skew")
-		longDel   = flag.Bool("longdel", false, "enable the paper's long-deletion burst model")
-		calibrate = flag.String("calibrate", "", "clusters file to fit the channel from (overrides -sub/-ins/-del)")
-		tier      = flag.String("tier", "second-order", "calibrated tier: naive, conditional, skew, second-order, dnasimulator")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		faultSpec = flag.String("faults", "", "fault injection spec (e.g. dropout=0.1,truncate=0.3:0.5,contam=0.02,zerocov=10:5)")
+		refsPath   = flag.String("refs", "", "reference strands file (one per line, required)")
+		out        = flag.String("o", "-", "output clusters file (- for stdout)")
+		coverage   = flag.Float64("coverage", 6, "fixed coverage, or the mean when -coverage-model is stochastic")
+		covModel   = flag.String("coverage-model", "fixed", "coverage model: fixed, negbin, poisson, normal")
+		sub        = flag.Float64("sub", 0, "substitution probability per base")
+		ins        = flag.Float64("ins", 0, "insertion probability per base")
+		del        = flag.Float64("del", 0, "deletion probability per base")
+		spatial    = flag.String("spatial", "uniform", "spatial distribution: uniform, a-shape, v-shape, terminal-skew")
+		longDel    = flag.Bool("longdel", false, "enable the paper's long-deletion burst model")
+		calibrate  = flag.String("calibrate", "", "clusters file to fit the channel from (overrides -sub/-ins/-del)")
+		tier       = flag.String("tier", "second-order", "calibrated tier: naive, conditional, skew, second-order, dnasimulator")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		faultSpec  = flag.String("faults", "", "fault injection spec (e.g. dropout=0.1,truncate=0.3:0.5,contam=0.02,zerocov=10:5)")
+		ckptPath   = flag.String("checkpoint", "", "journal completed clusters to this file; rerunning resumes instead of restarting")
+		crashAfter = flag.Int("crash-after", 0, "crash drill: kill the process after N checkpoint commits (requires -checkpoint)")
 	)
 	flag.Parse()
 	if *refsPath == "" {
@@ -109,22 +112,57 @@ func main() {
 	defer stop()
 
 	sim := channel.Simulator{Channel: ch, Coverage: cov}
-	ds, simErr := sim.SimulateCtx(ctx, "simulated", refs, *seed)
+	var (
+		ds     *dataset.Dataset
+		simErr error
+		ckpt   *channel.Checkpoint
+	)
+	if *ckptPath != "" {
+		ckpt, err = channel.OpenCheckpoint(*ckptPath, "simulated", refs, *seed, sim.Describe())
+		if err != nil {
+			fail(err)
+		}
+		if n := ckpt.Completed(); n > 0 {
+			fmt.Fprintf(os.Stderr, "dnasim: resuming from %s: %d/%d clusters already journaled\n",
+				*ckptPath, n, len(refs))
+		}
+		if *crashAfter > 0 {
+			// Crash drill: die as abruptly as a SIGKILL once N clusters have
+			// been durably committed, leaving the checkpoint to prove itself.
+			ckpt.OnCommit = func(commits int) {
+				if commits >= *crashAfter {
+					fmt.Fprintf(os.Stderr, "dnasim: crash drill after %d commits\n", commits)
+					os.Exit(137)
+				}
+			}
+		}
+		ds, simErr = sim.SimulateCheckpoint(ctx, "simulated", refs, *seed, ckpt)
+		ckpt.Close()
+	} else {
+		if *crashAfter > 0 {
+			fail(errors.New("-crash-after requires -checkpoint"))
+		}
+		ds, simErr = sim.SimulateCtx(ctx, "simulated", refs, *seed)
+	}
 	if ds == nil {
 		fail(simErr)
 	}
 
-	w := os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
-		if err != nil {
+	// Output commits atomically (temp + fsync + rename), so an interrupted
+	// run — including the SIGINT partial-dataset path — never leaves a
+	// half-written file where a previous complete one stood.
+	if *out == "-" {
+		if err := ds.Write(os.Stdout); err != nil {
 			fail(err)
 		}
-		defer f.Close()
-		w = f
-	}
-	if err := ds.Write(w); err != nil {
+	} else if err := durable.WriteFileAtomic(*out, ds.Write); err != nil {
 		fail(err)
+	}
+	if ckpt != nil && simErr == nil {
+		// The dataset is durably on disk; the journal has served its purpose.
+		if err := os.Remove(*ckptPath); err != nil {
+			fmt.Fprintln(os.Stderr, "dnasim: removing checkpoint:", err)
+		}
 	}
 	fmt.Fprintln(os.Stderr, sim.Describe())
 	fmt.Fprintln(os.Stderr, ds.ComputeStats())

@@ -28,6 +28,7 @@ import (
 	"dnastore/internal/channel"
 	"dnastore/internal/codec"
 	"dnastore/internal/dist"
+	"dnastore/internal/durable"
 	"dnastore/internal/faults"
 	"dnastore/internal/store"
 )
@@ -45,6 +46,8 @@ func main() {
 		err = cmdLs(os.Args[2:])
 	case "get":
 		err = cmdGet(os.Args[2:])
+	case "scrub":
+		err = cmdScrub(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -64,57 +67,32 @@ subcommands:
   get  -pool <file> -key <key> -o <path>      retrieve through a simulated sequencing run
        [-error 0.02] [-coverage 14] [-seed 7] [-skew]
        [-faults dropout=0.1,truncate=0.3:0.5,contam=0.02,zerocov=4:2]
-       [-retries 2] [-backoff 2.0]`)
+       [-retries 2] [-backoff 2.0]
+  scrub [-repair] <file|dir> ...              verify container checksums; -repair rewrites
+                                              what Reed-Solomon parity can restore`)
 }
 
 // loadOrNewPool opens an existing pool file or creates a fresh pool.
 func loadOrNewPool(path string, seed uint64) (*store.Pool, error) {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
+	if _, err := os.Stat(path); os.IsNotExist(err) {
 		return store.New(store.Options{
 			Archive: codec.Archive{StrandParity: 8, GroupData: 10, GroupParity: 6},
 			Seed:    seed,
 		}), nil
-	}
-	if err != nil {
+	} else if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return store.Load(f)
+	return loadPool(path)
 }
 
+// loadPool reads a pool file — durable container or legacy bare JSON, with
+// a deprecation nudge for the latter.
 func loadPool(path string) (*store.Pool, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
+	p, legacy, err := store.LoadFile(path)
+	if legacy && err == nil {
+		fmt.Fprintf(os.Stderr, "dnastore: %s is a legacy JSON pool without checksums; re-save (e.g. via put) to upgrade\n", path)
 	}
-	defer f.Close()
-	return store.Load(f)
-}
-
-// savePoolAtomic writes the pool to a temp file in the target's directory
-// and renames it into place, so a crash mid-save can never corrupt an
-// existing pool file.
-func savePoolAtomic(p *store.Pool, path string) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".pool-*.json")
-	if err != nil {
-		return err
-	}
-	if err := p.Save(tmp); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
+	return p, err
 }
 
 func cmdPut(args []string) error {
@@ -138,7 +116,7 @@ func cmdPut(args []string) error {
 	if err := p.Store(*key, data); err != nil {
 		return err
 	}
-	if err := savePoolAtomic(p, *pool); err != nil {
+	if err := p.SaveFile(*pool); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "stored %q (%d bytes) — pool now holds %d objects in %d strands\n",
@@ -227,4 +205,82 @@ func cmdGet(args []string) error {
 	fmt.Fprintf(os.Stderr, "recovered %q: %d bytes -> %s (attempt %d; %s)\n",
 		*key, len(data), *out, attempts, rep.Summary())
 	return nil
+}
+
+// cmdScrub verifies (and with -repair, restores) durable container files.
+// Arguments are files or directories; directories are walked recursively.
+// The exit status is non-zero if any file is left damaged.
+func cmdScrub(args []string) error {
+	fs := flag.NewFlagSet("scrub", flag.ExitOnError)
+	repair := fs.Bool("repair", false, "rewrite files whose damage is within the parity budget")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("scrub needs at least one file or directory")
+	}
+	var paths []string
+	for _, root := range fs.Args() {
+		info, err := os.Stat(root)
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			paths = append(paths, root)
+			continue
+		}
+		err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				paths = append(paths, p)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	unhealthy := 0
+	for _, path := range paths {
+		rep, err := scrubOne(path, *repair)
+		if err != nil {
+			return err
+		}
+		if rep == nil {
+			continue
+		}
+		fmt.Printf("%s: %s\n", path, rep.Summary())
+		for _, s := range rep.Sections {
+			if s.Status != durable.SectionOK {
+				fmt.Printf("  section %d %q (%d bytes): %s", s.Index, s.Name, s.Bytes, s.Status)
+				if s.Status == durable.SectionRepaired {
+					fmt.Printf(" (%d symbols corrected)", s.Corrected)
+				}
+				fmt.Println()
+			}
+		}
+		healthy := rep.Intact() || rep.Legacy
+		if *repair && rep.Damaged() && rep.Repairable() {
+			healthy = true
+			fmt.Printf("  repaired: %s rewritten from parity\n", path)
+		}
+		if !healthy {
+			unhealthy++
+		}
+	}
+	if unhealthy > 0 {
+		return fmt.Errorf("scrub: %d of %d files damaged", unhealthy, len(paths))
+	}
+	return nil
+}
+
+// scrubOne scrubs (or repairs) a single path; a nil report means the file
+// is not scrub-relevant (unreadable non-regular files are surfaced as
+// errors instead).
+func scrubOne(path string, repair bool) (*durable.Report, error) {
+	if repair {
+		return durable.RepairFile(path)
+	}
+	return durable.ScrubFile(path)
 }

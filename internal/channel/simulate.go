@@ -111,6 +111,13 @@ func (s Simulator) Simulate(name string, refs []dna.Strand, seed uint64) *datase
 // Output is byte-identical to Simulate for a run that completes without
 // faults: the same per-cluster RNG split scheme applies.
 func (s Simulator) SimulateCtx(ctx context.Context, name string, refs []dna.Strand, seed uint64) (*dataset.Dataset, error) {
+	return s.simulateWith(ctx, name, refs, seed, nil)
+}
+
+// simulateWith is the shared engine behind SimulateCtx (ckpt == nil) and
+// SimulateCheckpoint. Checkpointed clusters are restored without
+// re-simulation; newly completed ones are committed before they count.
+func (s Simulator) simulateWith(ctx context.Context, name string, refs []dna.Strand, seed uint64, ckpt *Checkpoint) (*dataset.Dataset, error) {
 	if s.Channel == nil {
 		return nil, fmt.Errorf("channel: Simulator without a Channel")
 	}
@@ -154,11 +161,29 @@ func (s Simulator) SimulateCtx(ctx context.Context, name string, refs []dna.Stra
 				if ctx.Err() != nil {
 					return
 				}
+				if ckpt != nil {
+					if reads, ok := ckpt.Done(i); ok {
+						// Already journaled by a previous run: restore
+						// verbatim instead of re-simulating.
+						ds.Clusters[i] = dataset.Cluster{Ref: refs[i], Reads: reads}
+						completed.Add(1)
+						continue
+					}
+				}
 				if err := s.simulateCluster(ds, refs, i, seed); err != nil {
 					mu.Lock()
 					clusterErrs = append(clusterErrs, ClusterError{Index: i, Err: err})
 					mu.Unlock()
 					continue
+				}
+				if ckpt != nil {
+					if err := ckpt.Commit(i, ds.Clusters[i].Reads); err != nil {
+						mu.Lock()
+						clusterErrs = append(clusterErrs, ClusterError{Index: i,
+							Err: fmt.Errorf("checkpoint commit: %w", err)})
+						mu.Unlock()
+						continue
+					}
 				}
 				completed.Add(1)
 			}

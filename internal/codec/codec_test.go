@@ -5,7 +5,6 @@ import (
 	"testing"
 	"testing/quick"
 
-	"dnastore/internal/channel"
 	"dnastore/internal/dna"
 	"dnastore/internal/rng"
 )
@@ -396,86 +395,4 @@ func TestGeneratePrimers(t *testing.T) {
 	if _, err := GeneratePrimers(0, cfg, r); err == nil {
 		t.Error("zero primers accepted")
 	}
-}
-
-func TestSelectAmplify(t *testing.T) {
-	r := rng.New(6)
-	lib, err := GeneratePrimers(2, PrimerConfig{}, r)
-	if err != nil {
-		t.Fatal(err)
-	}
-	payloadA := channel.RandomReferences(5, 60, 7)
-	payloadB := channel.RandomReferences(5, 60, 8)
-	pool := append(Tag(lib[0], payloadA), Tag(lib[1], payloadB)...)
-	got := SelectAmplify(pool, lib[0], 2)
-	if len(got) != 5 {
-		t.Fatalf("amplified %d strands, want 5", len(got))
-	}
-	for i, s := range got {
-		if s != payloadA[i] {
-			t.Errorf("strand %d corrupted by amplification", i)
-		}
-	}
-	// Noisy primer region still amplifies within the mismatch budget.
-	noisy := []byte(pool[0])
-	noisy[3] = 'A'
-	noisy[7] = 'C'
-	got = SelectAmplify([]dna.Strand{dna.Strand(noisy)}, lib[0], 2)
-	if len(got) > 1 {
-		t.Error("noisy primer over-amplified")
-	}
-	// Short reads are skipped.
-	if n := len(SelectAmplify([]dna.Strand{"ACG"}, lib[0], 2)); n != 0 {
-		t.Errorf("short read amplified (%d)", n)
-	}
-}
-
-func TestArchiveEndToEndThroughChannel(t *testing.T) {
-	// Encode → simulate a mild channel with coverage → reconstruct by
-	// majority → decode. The integration test for the whole pipeline.
-	a := Archive{StrandParity: 6, GroupData: 8, GroupParity: 4}
-	data := bytes.Repeat([]byte("end to end! "), 25)
-	strands, err := a.Encode(data)
-	if err != nil {
-		t.Fatal(err)
-	}
-	sim := channel.Simulator{
-		Channel:  channel.NewNaive("mild", channel.Rates{Sub: 0.01}),
-		Coverage: channel.FixedCoverage(7),
-	}
-	ds := sim.Simulate("pipe", strands, 99)
-	recovered := make([]dna.Strand, len(ds.Clusters))
-	for i, c := range ds.Clusters {
-		// Substitution-only channel: plain per-position majority suffices.
-		recovered[i] = majorityVote(c.Reads, c.Ref.Len())
-	}
-	got, err := a.Decode(recovered)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(got, data) {
-		t.Fatal("end-to-end mismatch")
-	}
-}
-
-// majorityVote is a tiny local consensus to avoid importing recon (which
-// would create a cycle in the test dependency graph for coverage tools).
-func majorityVote(reads []dna.Strand, length int) dna.Strand {
-	out := make([]byte, 0, length)
-	for i := 0; i < length; i++ {
-		var counts [dna.NumBases]int
-		for _, r := range reads {
-			if i < r.Len() {
-				counts[r.At(i)]++
-			}
-		}
-		best, bestN := 0, -1
-		for b, n := range counts {
-			if n > bestN {
-				best, bestN = b, n
-			}
-		}
-		out = append(out, dna.Base(best).Byte())
-	}
-	return dna.Strand(out)
 }

@@ -1,0 +1,92 @@
+package durable
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a file all-or-nothing: the write callback streams
+// into a temp file in the target's directory, which is fsynced, renamed
+// over the target, and the directory fsynced. A crash at any point leaves
+// either the old file or the new one — never a torn hybrid.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	bw := bufio.NewWriter(tmp)
+	if err := write(bw); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		return err
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	// Persist the rename itself; best-effort on filesystems that refuse
+	// directory fsync.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// WriteContainerFile atomically writes a single-shot container whose
+// frames are produced by the callback.
+func WriteContainerFile(path string, kind Kind, opts Options, frames func(*Writer) error) error {
+	return WriteFileAtomic(path, func(w io.Writer) error {
+		dw, err := NewWriter(w, kind, opts)
+		if err != nil {
+			return err
+		}
+		if err := frames(dw); err != nil {
+			return err
+		}
+		return dw.Close()
+	})
+}
+
+// ReadContainerFile reads an entire container file strictly, checking its
+// kind. Damage within the parity budget is repaired in memory — callers
+// get the clean payloads even off a rotten disk (run scrub --repair to
+// persist the fix).
+func ReadContainerFile(path string, want Kind) ([]Frame, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	kind, frames, err := ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("durable: %s: %w", path, err)
+	}
+	if want != KindUnknown && kind != want {
+		return nil, fmt.Errorf("durable: %s holds a %s container, want %s", path, kind, want)
+	}
+	return frames, nil
+}

@@ -1,0 +1,321 @@
+// Package durable implements the on-disk durability layer: a versioned,
+// CRC32C-checksummed container format with optional Reed–Solomon parity,
+// atomic file commit (temp + fsync + rename), an append-only journal for
+// checkpoint/resume, and scrub/repair over all of it.
+//
+// Storage media decay over decades while pipelines crash in seconds; both
+// failure modes land on the same files. Every artifact this repository
+// persists — pools, simulated datasets, calibration profiles, simulation
+// checkpoints — is therefore wrapped in one container format so that a
+// torn write is always detected (never silently half-loaded), bit rot is
+// detected by checksum and repaired by parity when within budget, and a
+// file either commits completely or not at all.
+//
+// Format layout (all integers little-endian):
+//
+//	container := header frame* footer
+//	header    := magic "DNAC" | version u8 | kind u8 | parity u8 |
+//	             reserved u8 | crc32c(bytes 0..8) u32
+//	frame     := 'F' | nameLen u8 | name | rawLen u32 |
+//	             crc32c(frame header bytes) u32 | body |
+//	             crc32c(raw payload) u32
+//	body      := the raw payload when parity = 0; otherwise Reed–Solomon
+//	             codewords — the payload in chunks of (255-parity) bytes,
+//	             each followed by parity RS symbols over GF(2⁸), so up to
+//	             parity/2 unknown-position byte errors per codeword are
+//	             correctable
+//	footer    := 'E' | frameCount u32 | crc32c(stored payload CRCs) u32 |
+//	             magic "CEND"
+//
+// A journal is a container without a footer: validity is the header plus
+// every complete frame, and a torn tail is discarded on open. The payload
+// CRC is always computed over the raw (pre-parity) payload, so a repaired
+// frame re-validates against the stored checksum — Reed–Solomon can only
+// claim a repair the CRC confirms.
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"dnastore/internal/codec"
+)
+
+// Kind labels what a container holds, so loaders can reject a pool handed
+// to the profile reader and scrub can report archive composition.
+type Kind byte
+
+// Container kinds.
+const (
+	KindUnknown    Kind = 0
+	KindPool       Kind = 1
+	KindDataset    Kind = 2
+	KindProfile    Kind = 3
+	KindCheckpoint Kind = 4
+)
+
+// String names the kind for reports.
+func (k Kind) String() string {
+	switch k {
+	case KindPool:
+		return "pool"
+	case KindDataset:
+		return "dataset"
+	case KindProfile:
+		return "profile"
+	case KindCheckpoint:
+		return "checkpoint"
+	default:
+		return fmt.Sprintf("unknown(%d)", byte(k))
+	}
+}
+
+// Version is the container format version written by this package.
+const Version = 1
+
+const (
+	frameMarker  = 'F'
+	footerMarker = 'E'
+	headerSize   = 12
+	footerSize   = 13
+)
+
+// MaxParity bounds the per-codeword Reed–Solomon parity symbol count; at
+// least 127 data bytes must remain per 255-byte codeword.
+const MaxParity = 128
+
+// DefaultParity is the parity used by the stock pool/dataset/profile
+// writers: 16 symbols per 255-byte codeword (~6.7% overhead) repairs up to
+// 8 unknown-position byte errors per codeword.
+const DefaultParity = 16
+
+// maxFrameSize bounds a single frame's raw payload, guarding allocations
+// against forged length fields.
+const maxFrameSize = 1 << 28
+
+var (
+	headMagic = [4]byte{'D', 'N', 'A', 'C'}
+	tailMagic = [4]byte{'C', 'E', 'N', 'D'}
+
+	castagnoli = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// ErrNotContainer reports a file that does not start with the container
+// magic — a legacy (pre-container) artifact or an unrelated file.
+var ErrNotContainer = errors.New("durable: not a durable container")
+
+// ErrTruncated reports a container cut short before a valid footer — the
+// signature of a torn write.
+var ErrTruncated = errors.New("durable: container truncated (torn write)")
+
+// ErrCorrupt reports payload bytes that fail their checksum beyond what
+// Reed–Solomon parity could repair.
+var ErrCorrupt = errors.New("durable: payload corrupt beyond parity budget")
+
+// FrameError reports a single unrecoverable frame. The surrounding stream
+// stays readable: frame boundaries are protected by their own header CRC,
+// so one rotten section does not take down its neighbours.
+type FrameError struct {
+	// Index is the zero-based frame position in the container.
+	Index int
+	// Name is the frame's section name.
+	Name string
+	// Err is the underlying failure (usually ErrCorrupt).
+	Err error
+}
+
+// Error implements error.
+func (e *FrameError) Error() string {
+	return fmt.Sprintf("durable: frame %d %q: %v", e.Index, e.Name, e.Err)
+}
+
+// Unwrap exposes the underlying failure.
+func (e *FrameError) Unwrap() error { return e.Err }
+
+// Options configure a container writer.
+type Options struct {
+	// Parity is the Reed–Solomon parity symbol count per 255-byte
+	// codeword; 0 disables parity (checksums only, no repair).
+	Parity int
+}
+
+// Frame is one decoded section of a container.
+type Frame struct {
+	// Name is the section name given at write time.
+	Name string
+	// Payload is the raw payload, after any Reed–Solomon repair.
+	Payload []byte
+	// Corrected counts Reed–Solomon symbols corrected while reading; 0
+	// means the section was clean on disk.
+	Corrected int
+}
+
+// crc is CRC32C over b.
+func crc(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// updateRunCRC folds one stored payload CRC into the footer's running CRC.
+func updateRunCRC(run, pcrc uint32) uint32 {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], pcrc)
+	return crc32.Update(run, castagnoli, b[:])
+}
+
+// encodedLen returns the body length of a frame holding rawLen payload
+// bytes under the given parity.
+func encodedLen(rawLen, parity int) int {
+	if parity == 0 {
+		return rawLen
+	}
+	data := 255 - parity
+	full := rawLen / data
+	n := full * 255
+	if rem := rawLen % data; rem > 0 {
+		n += rem + parity
+	}
+	return n
+}
+
+// encodeHeader builds the 12-byte container header.
+func encodeHeader(kind Kind, parity int) [headerSize]byte {
+	var h [headerSize]byte
+	copy(h[:4], headMagic[:])
+	h[4] = Version
+	h[5] = byte(kind)
+	h[6] = byte(parity)
+	h[7] = 0
+	binary.LittleEndian.PutUint32(h[8:], crc(h[:8]))
+	return h
+}
+
+// parseHeader validates a container header read from r.
+func parseHeader(r io.Reader) (Kind, int, error) {
+	h := make([]byte, headerSize)
+	n, err := io.ReadFull(r, h)
+	if err != nil {
+		if n >= len(headMagic) && !bytes.Equal(h[:4], headMagic[:]) {
+			return 0, 0, ErrNotContainer
+		}
+		return 0, 0, ErrTruncated
+	}
+	if !bytes.Equal(h[:4], headMagic[:]) {
+		return 0, 0, ErrNotContainer
+	}
+	if crc(h[:8]) != binary.LittleEndian.Uint32(h[8:]) {
+		return 0, 0, fmt.Errorf("durable: container header checksum mismatch")
+	}
+	if h[4] != Version {
+		return 0, 0, fmt.Errorf("durable: unsupported container version %d", h[4])
+	}
+	parity := int(h[6])
+	if parity > MaxParity {
+		return 0, 0, fmt.Errorf("durable: container parity %d exceeds %d", parity, MaxParity)
+	}
+	return Kind(h[5]), parity, nil
+}
+
+// encodeFrame serialises one frame and returns its bytes plus the payload
+// CRC that the footer's running CRC accumulates.
+func encodeFrame(name string, raw []byte, parity int, rs *codec.RS) ([]byte, uint32, error) {
+	if name == "" || len(name) > 255 {
+		return nil, 0, fmt.Errorf("durable: frame name %q must be 1..255 bytes", name)
+	}
+	if len(raw) > maxFrameSize {
+		return nil, 0, fmt.Errorf("durable: frame payload %d bytes exceeds %d", len(raw), maxFrameSize)
+	}
+	var buf bytes.Buffer
+	buf.Grow(10 + len(name) + encodedLen(len(raw), parity) + 4)
+	buf.WriteByte(frameMarker)
+	buf.WriteByte(byte(len(name)))
+	buf.WriteString(name)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(raw)))
+	buf.Write(u32[:])
+	binary.LittleEndian.PutUint32(u32[:], crc(buf.Bytes()))
+	buf.Write(u32[:])
+	if parity == 0 {
+		buf.Write(raw)
+	} else {
+		data := 255 - parity
+		for off := 0; off < len(raw); off += data {
+			end := min(off+data, len(raw))
+			cw, err := rs.Encode(raw[off:end])
+			if err != nil {
+				return nil, 0, err
+			}
+			buf.Write(cw)
+		}
+	}
+	pcrc := crc(raw)
+	binary.LittleEndian.PutUint32(u32[:], pcrc)
+	buf.Write(u32[:])
+	return buf.Bytes(), pcrc, nil
+}
+
+// readFrame parses one frame after its marker byte has been consumed.
+// Stream-structural damage (bad header CRC, short read) comes back as a
+// terminal error; payload damage beyond parity comes back as a *FrameError
+// with the stream still positioned at the next frame, carrying the
+// best-effort payload.
+func readFrame(r io.Reader, parity int, rs *codec.RS, index int) (*Frame, uint32, error) {
+	var small [6]byte
+	if _, err := io.ReadFull(r, small[:1]); err != nil {
+		return nil, 0, ErrTruncated
+	}
+	nameLen := int(small[0])
+	if nameLen == 0 {
+		return nil, 0, fmt.Errorf("durable: frame %d has empty name", index)
+	}
+	hdr := make([]byte, 2+nameLen+8)
+	hdr[0] = frameMarker
+	hdr[1] = small[0]
+	if _, err := io.ReadFull(r, hdr[2:]); err != nil {
+		return nil, 0, ErrTruncated
+	}
+	name := string(hdr[2 : 2+nameLen])
+	rawLen := int(binary.LittleEndian.Uint32(hdr[2+nameLen:]))
+	hcrc := binary.LittleEndian.Uint32(hdr[2+nameLen+4:])
+	if crc(hdr[:2+nameLen+4]) != hcrc {
+		return nil, 0, fmt.Errorf("durable: frame %d header checksum mismatch", index)
+	}
+	if rawLen > maxFrameSize {
+		return nil, 0, fmt.Errorf("durable: frame %d payload %d bytes exceeds %d", index, rawLen, maxFrameSize)
+	}
+	body := make([]byte, encodedLen(rawLen, parity))
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, 0, ErrTruncated
+	}
+	if _, err := io.ReadFull(r, small[:4]); err != nil {
+		return nil, 0, ErrTruncated
+	}
+	pcrc := binary.LittleEndian.Uint32(small[:4])
+
+	frame := &Frame{Name: name}
+	decodeFailed := false
+	if parity == 0 {
+		frame.Payload = body
+	} else {
+		frame.Payload = make([]byte, 0, rawLen)
+		for off := 0; off < len(body); {
+			end := min(off+255, len(body))
+			cw := body[off:end]
+			msg, corrected, err := rs.DecodeDetail(cw, nil)
+			if err != nil {
+				// Unrecoverable codeword: keep the damaged data bytes so
+				// the caller still sees a best-effort payload.
+				decodeFailed = true
+				msg = cw[:len(cw)-parity]
+			}
+			frame.Corrected += corrected
+			frame.Payload = append(frame.Payload, msg...)
+			off = end
+		}
+	}
+	if decodeFailed || crc(frame.Payload) != pcrc {
+		return frame, pcrc, &FrameError{Index: index, Name: name, Err: ErrCorrupt}
+	}
+	return frame, pcrc, nil
+}

@@ -1,0 +1,48 @@
+package durable
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadContainer hardens the container reader and scrubber against
+// arbitrary bytes: malformed headers, forged lengths, truncated frames and
+// random mutations of valid containers must never panic or over-allocate.
+func FuzzReadContainer(f *testing.F) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, KindPool, Options{Parity: 8})
+	if err != nil {
+		f.Fatal(err)
+	}
+	w.WriteFrame("pool.json", []byte(`{"version":1,"objects":[]}`))
+	w.WriteFrame("extra", bytes.Repeat([]byte{0x5A}, 300))
+	w.Close()
+	valid := buf.Bytes()
+
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])                       // torn write
+	f.Add(valid[:headerSize])                         // header only
+	f.Add([]byte("DNAC"))                             // magic, no header
+	f.Add([]byte(`{"version":1}`))                    // legacy JSON
+	f.Add(append([]byte(nil), valid[:headerSize]...)) // no frames, no footer
+	flipped := append([]byte(nil), valid...)
+	flipped[headerSize+5] ^= 0xFF
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, frames, err := ReadAll(bytes.NewReader(data))
+		if err == nil {
+			// Accepted containers must be internally consistent.
+			_ = kind.String()
+			for _, fr := range frames {
+				if fr.Name == "" {
+					t.Error("accepted frame with empty name")
+				}
+			}
+		}
+		rep := Scrub(bytes.NewReader(data))
+		_ = rep.Summary()
+		_ = rep.Intact()
+		_ = rep.Repairable()
+	})
+}

@@ -1,0 +1,117 @@
+package durable
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dnastore/internal/codec"
+)
+
+// Reader decodes a container frame by frame, verifying every checksum and
+// repairing payload damage within the Reed–Solomon parity budget as it
+// goes.
+type Reader struct {
+	br     *bufio.Reader
+	kind   Kind
+	parity int
+	rs     *codec.RS
+	index  int
+	runCRC uint32
+	done   bool
+}
+
+// NewReader validates the container header. It returns ErrNotContainer for
+// a file without the magic (legacy artifact) and ErrTruncated for a header
+// cut short.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	kind, parity, err := parseHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	var rs *codec.RS
+	if parity > 0 {
+		rs, err = codec.NewRS(parity)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Reader{br: br, kind: kind, parity: parity, rs: rs}, nil
+}
+
+// Kind returns the container kind declared in the header.
+func (r *Reader) Kind() Kind { return r.kind }
+
+// Parity returns the per-codeword Reed–Solomon parity symbol count.
+func (r *Reader) Parity() int { return r.parity }
+
+// Next returns the next frame. After the last frame it verifies the footer
+// and returns (nil, io.EOF). An unrecoverable frame comes back as
+// (best-effort frame, *FrameError) with the reader still usable, so
+// callers can keep scanning past rotten sections; any other error is
+// terminal. A stream that ends without a valid footer yields ErrTruncated.
+func (r *Reader) Next() (*Frame, error) {
+	if r.done {
+		return nil, io.EOF
+	}
+	marker, err := r.br.ReadByte()
+	if err != nil {
+		return nil, ErrTruncated
+	}
+	switch marker {
+	case footerMarker:
+		rest := make([]byte, footerSize-1)
+		if _, err := io.ReadFull(r.br, rest); err != nil {
+			return nil, ErrTruncated
+		}
+		count := binary.LittleEndian.Uint32(rest[:4])
+		runCRC := binary.LittleEndian.Uint32(rest[4:8])
+		if string(rest[8:]) != string(tailMagic[:]) {
+			return nil, ErrTruncated
+		}
+		if count != uint32(r.index) {
+			return nil, fmt.Errorf("durable: footer counts %d frames, read %d", count, r.index)
+		}
+		if runCRC != r.runCRC {
+			return nil, fmt.Errorf("durable: footer running checksum mismatch")
+		}
+		r.done = true
+		return nil, io.EOF
+	case frameMarker:
+		frame, pcrc, err := readFrame(r.br, r.parity, r.rs, r.index)
+		var fe *FrameError
+		if err != nil && !errors.As(err, &fe) {
+			return nil, err
+		}
+		// The running CRC covers the *stored* payload CRCs, so repaired
+		// and even unrecoverable frames keep the footer verifiable.
+		r.index++
+		r.runCRC = updateRunCRC(r.runCRC, pcrc)
+		return frame, err
+	default:
+		return nil, fmt.Errorf("durable: bad marker 0x%02x at frame %d", marker, r.index)
+	}
+}
+
+// ReadAll decodes an entire container strictly: every frame must verify
+// (after any parity repair) and the footer must be present and correct.
+func ReadAll(r io.Reader) (Kind, []Frame, error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	var frames []Frame
+	for {
+		f, err := rd.Next()
+		if err == io.EOF {
+			return rd.Kind(), frames, nil
+		}
+		if err != nil {
+			return rd.Kind(), nil, err
+		}
+		frames = append(frames, *f)
+	}
+}

@@ -1,0 +1,91 @@
+package faults
+
+import (
+	"io"
+
+	"dnastore/internal/rng"
+)
+
+// File-level injectors for durability drills. Where CorruptPool mangles a
+// blob in coarse modes, TornWrite and BitRot model the two storage-layer
+// failures the durable container format is built to survive: a crash that
+// cuts a write short, and media decay that flips individual bits. Both are
+// deterministic under an explicit RNG, so crash drills replay exactly.
+
+// TornWrite returns a prefix of data cut at a point drawn uniformly from
+// [1, len(data)) — the on-disk state after a crash mid-write. Inputs
+// shorter than two bytes are returned unchanged.
+func TornWrite(data []byte, r *rng.RNG) []byte {
+	if len(data) < 2 {
+		return append([]byte(nil), data...)
+	}
+	cut := 1 + r.Intn(len(data)-1)
+	return append([]byte(nil), data[:cut]...)
+}
+
+// BitRot returns a copy of data with n distinct random bits flipped —
+// silent media decay. Fewer than n bits flip only when data has fewer than
+// n bits in total.
+func BitRot(data []byte, n int, r *rng.RNG) []byte {
+	return BitRotRange(data, 0, len(data), n, r)
+}
+
+// BitRotRange is BitRot confined to data[start:end): n distinct bits
+// inside the range flip, the rest of the blob is untouched. It lets drills
+// target payload regions whose damage must stay within a known parity
+// budget. An empty or inverted range returns an unmodified copy.
+func BitRotRange(data []byte, start, end, n int, r *rng.RNG) []byte {
+	out := append([]byte(nil), data...)
+	if start < 0 {
+		start = 0
+	}
+	if end > len(out) {
+		end = len(out)
+	}
+	if start >= end || n <= 0 {
+		return out
+	}
+	totalBits := (end - start) * 8
+	if n > totalBits {
+		n = totalBits
+	}
+	flipped := make(map[int]bool, n)
+	for len(flipped) < n {
+		bit := r.Intn(totalBits)
+		if flipped[bit] {
+			continue
+		}
+		flipped[bit] = true
+		out[start+bit/8] ^= 1 << (bit % 8)
+	}
+	return out
+}
+
+// TornWriter is an io.Writer that persists only the first Limit bytes and
+// silently swallows the rest — the kernel's view of a process killed
+// before its buffers reached disk. It never returns an error, so the
+// writing code path completes believing the write succeeded, exactly like
+// a real torn write.
+type TornWriter struct {
+	// W receives the surviving prefix.
+	W io.Writer
+	// Limit is the number of bytes that reach W.
+	Limit int
+
+	written int
+}
+
+// Write implements io.Writer.
+func (t *TornWriter) Write(p []byte) (int, error) {
+	n := len(p)
+	if keep := t.Limit - t.written; keep > 0 {
+		if keep > n {
+			keep = n
+		}
+		if _, err := t.W.Write(p[:keep]); err != nil {
+			return 0, err
+		}
+		t.written += keep
+	}
+	return n, nil
+}

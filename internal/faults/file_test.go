@@ -1,0 +1,95 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+
+	"dnastore/internal/rng"
+)
+
+func TestTornWrite(t *testing.T) {
+	data := bytes.Repeat([]byte("abcdef"), 50)
+	for seed := uint64(0); seed < 20; seed++ {
+		torn := TornWrite(data, rng.New(seed))
+		if len(torn) < 1 || len(torn) >= len(data) {
+			t.Fatalf("seed %d: torn length %d outside [1,%d)", seed, len(torn), len(data))
+		}
+		if !bytes.Equal(torn, data[:len(torn)]) {
+			t.Fatalf("seed %d: torn result is not a prefix", seed)
+		}
+	}
+	// Determinism: same seed, same cut.
+	a := TornWrite(data, rng.New(7))
+	b := TornWrite(data, rng.New(7))
+	if !bytes.Equal(a, b) {
+		t.Error("TornWrite not deterministic under equal seeds")
+	}
+	// Degenerate inputs pass through.
+	if got := TornWrite([]byte{0x01}, rng.New(1)); len(got) != 1 {
+		t.Errorf("single byte: %v", got)
+	}
+	if got := TornWrite(nil, rng.New(1)); len(got) != 0 {
+		t.Errorf("nil input: %v", got)
+	}
+}
+
+func TestBitRot(t *testing.T) {
+	data := bytes.Repeat([]byte{0x00}, 64)
+	rotted := BitRot(data, 5, rng.New(3))
+	if bytes.Equal(rotted, data) {
+		t.Fatal("BitRot changed nothing")
+	}
+	flips := 0
+	for i := range rotted {
+		for b := 0; b < 8; b++ {
+			if (rotted[i]^data[i])>>b&1 == 1 {
+				flips++
+			}
+		}
+	}
+	if flips != 5 {
+		t.Errorf("flipped %d bits, want 5", flips)
+	}
+	// Original untouched.
+	for _, v := range data {
+		if v != 0 {
+			t.Fatal("BitRot mutated its input")
+		}
+	}
+}
+
+func TestBitRotRange(t *testing.T) {
+	data := bytes.Repeat([]byte{0xFF}, 100)
+	rotted := BitRotRange(data, 40, 60, 8, rng.New(9))
+	for i := range rotted {
+		if (i < 40 || i >= 60) && rotted[i] != 0xFF {
+			t.Fatalf("byte %d outside range modified", i)
+		}
+	}
+	if bytes.Equal(rotted[40:60], data[40:60]) {
+		t.Error("range unmodified")
+	}
+	// n exceeding the range's bit count flips every bit rather than hanging.
+	all := BitRotRange(data, 0, 2, 999, rng.New(1))
+	if all[0] != 0x00 || all[1] != 0x00 {
+		t.Errorf("saturating flip: %x %x", all[0], all[1])
+	}
+	// Inverted and empty ranges are no-ops.
+	if !bytes.Equal(BitRotRange(data, 60, 40, 4, rng.New(2)), data) {
+		t.Error("inverted range modified data")
+	}
+}
+
+func TestTornWriter(t *testing.T) {
+	var buf bytes.Buffer
+	tw := &TornWriter{W: &buf, Limit: 10}
+	for i := 0; i < 5; i++ {
+		n, err := tw.Write([]byte("abcd"))
+		if err != nil || n != 4 {
+			t.Fatalf("write %d: n=%d err=%v", i, n, err)
+		}
+	}
+	if got := buf.String(); got != "abcdabcdab" {
+		t.Errorf("persisted %q, want first 10 bytes only", got)
+	}
+}

@@ -1,0 +1,59 @@
+package seqio
+
+import (
+	"bytes"
+	"fmt"
+
+	"dnastore/internal/dataset"
+	"dnastore/internal/durable"
+)
+
+// Durable dataset files: both halves of a dataset (reference FASTA + read
+// FASTQ) travel in one container, so they cannot drift apart on disk and
+// both are covered by checksums and parity.
+
+// Frame names inside a dataset container.
+const (
+	refsFrame  = "refs.fasta"
+	readsFrame = "reads.fastq"
+)
+
+// WriteDatasetFile atomically writes the dataset to path as a durable
+// container holding the reference FASTA and read FASTQ sections.
+func WriteDatasetFile(path string, ds *dataset.Dataset, qual int) error {
+	return durable.WriteContainerFile(path, durable.KindDataset,
+		durable.Options{Parity: durable.DefaultParity},
+		func(w *durable.Writer) error {
+			var refs, reads bytes.Buffer
+			if err := WriteDataset(&refs, &reads, ds, qual); err != nil {
+				return err
+			}
+			if err := w.WriteFrame(refsFrame, refs.Bytes()); err != nil {
+				return err
+			}
+			return w.WriteFrame(readsFrame, reads.Bytes())
+		})
+}
+
+// ReadDatasetFile reads a dataset container written by WriteDatasetFile,
+// verifying checksums and applying parity repair.
+func ReadDatasetFile(path string) (*dataset.Dataset, error) {
+	frames, err := durable.ReadContainerFile(path, durable.KindDataset)
+	if err != nil {
+		return nil, err
+	}
+	var refs, reads []byte
+	haveRefs, haveReads := false, false
+	for _, fr := range frames {
+		switch fr.Name {
+		case refsFrame:
+			refs, haveRefs = fr.Payload, true
+		case readsFrame:
+			reads, haveReads = fr.Payload, true
+		}
+	}
+	if !haveRefs || !haveReads {
+		return nil, fmt.Errorf("seqio: %s is missing the %q or %q section", path, refsFrame, readsFrame)
+	}
+	return ReadDataset(bytes.NewReader(refs), bytes.NewReader(reads))
+}

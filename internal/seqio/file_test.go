@@ -1,0 +1,68 @@
+package seqio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dnastore/internal/dataset"
+	"dnastore/internal/dna"
+)
+
+func fileDataset() *dataset.Dataset {
+	return &dataset.Dataset{
+		Name: "t",
+		Clusters: []dataset.Cluster{
+			{Ref: "ACGTACGT", Reads: []dna.Strand{"ACGTACGT", "ACGTCGT"}},
+			{Ref: "TTTTCCCC", Reads: []dna.Strand{"TTTTCCC"}},
+			{Ref: "GGGGAAAA"}, // erasure: zero reads
+		},
+	}
+}
+
+func TestDatasetFileRoundTrip(t *testing.T) {
+	ds := fileDataset()
+	path := filepath.Join(t.TempDir(), "ds.dnac")
+	if err := WriteDatasetFile(path, ds, 30); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDatasetFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Clusters) != len(ds.Clusters) {
+		t.Fatalf("%d clusters, want %d", len(got.Clusters), len(ds.Clusters))
+	}
+	for i, c := range ds.Clusters {
+		if got.Clusters[i].Ref != c.Ref {
+			t.Errorf("cluster %d ref mismatch", i)
+		}
+		if len(got.Clusters[i].Reads) != len(c.Reads) {
+			t.Errorf("cluster %d has %d reads, want %d", i, len(got.Clusters[i].Reads), len(c.Reads))
+			continue
+		}
+		for k, r := range c.Reads {
+			if got.Clusters[i].Reads[k] != r {
+				t.Errorf("cluster %d read %d mismatch", i, k)
+			}
+		}
+	}
+}
+
+func TestDatasetFileDetectsTornWrite(t *testing.T) {
+	ds := fileDataset()
+	path := filepath.Join(t.TempDir(), "ds.dnac")
+	if err := WriteDatasetFile(path, ds, 30); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDatasetFile(path); err == nil {
+		t.Fatal("torn dataset container read silently")
+	}
+}

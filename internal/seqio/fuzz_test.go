@@ -1,0 +1,68 @@
+package seqio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadFASTA hardens the FASTA parser: malformed headers, CRLF line
+// endings, blank lines, and truncated records must error cleanly or parse
+// to internally consistent records — never panic.
+func FuzzReadFASTA(f *testing.F) {
+	f.Add([]byte(">ref-0 desc\nACGTACGT\nACGT\n"))
+	f.Add([]byte(">ref-0\r\nACGT\r\n>ref-1\r\nTTTT\r\n"))
+	f.Add([]byte(">only-header\n"))
+	f.Add([]byte("ACGT\n>late-header\nACGT\n")) // sequence before any header
+	f.Add([]byte(">a\n\n\nACGT\n\n"))           // blank lines
+	f.Add([]byte(">"))                          // bare marker
+	f.Add([]byte(""))
+	f.Add([]byte(">a\nacgu\n")) // lowercase / RNA letters
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadFASTA(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, r := range recs {
+			if strings.ContainsAny(string(r.Seq), "\r\n>") {
+				t.Errorf("accepted sequence with structural bytes: %q", r.Seq)
+			}
+		}
+		// Accepted input must round-trip through the writer and reparse.
+		var buf bytes.Buffer
+		if err := WriteFASTA(&buf, recs, 0); err != nil {
+			t.Fatalf("rewriting accepted records: %v", err)
+		}
+		if _, err := ReadFASTA(&buf); err != nil {
+			t.Errorf("round trip failed: %v", err)
+		}
+	})
+}
+
+// FuzzReadFASTQ does the same for the four-line FASTQ parser, including
+// quality/sequence length mismatches and truncated trailing records.
+func FuzzReadFASTQ(f *testing.F) {
+	f.Add([]byte("@cluster-0/read-0\nACGT\n+\nIIII\n"))
+	f.Add([]byte("@r\r\nACGT\r\n+\r\nIIII\r\n"))
+	f.Add([]byte("@r\nACGT\n+\nII\n"))   // qual shorter than seq
+	f.Add([]byte("@r\nACGT\n+\nIIII"))   // missing trailing newline
+	f.Add([]byte("@r\nACGT\n"))          // truncated mid-record
+	f.Add([]byte("@r\nACGT\nIIII\n+\n")) // separator out of order
+	f.Add([]byte("ACGT\n+\nIIII\n@r\n")) // header missing
+	f.Add([]byte("@\n\n+\n\n"))          // all-empty record
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadFASTQ(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, r := range recs {
+			if r.Qual != nil && len(r.Qual) != r.Seq.Len() {
+				t.Errorf("accepted record %q with %d quals over %d bases",
+					r.ID, len(r.Qual), r.Seq.Len())
+			}
+		}
+	})
+}

@@ -1,0 +1,90 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"dnastore/internal/durable"
+)
+
+// File-level pool persistence. SaveFile wraps the JSON snapshot in a
+// durable container — checksummed, parity-protected, atomically committed —
+// while LoadFile transparently accepts both containers and legacy bare-JSON
+// pools written before the container format existed.
+
+// poolFrame names the snapshot section inside a pool container.
+const poolFrame = "pool.json"
+
+// SaveFile atomically writes the pool to path as a durable container with
+// default Reed–Solomon parity. A crash mid-save leaves any previous file
+// untouched.
+func (p *Pool) SaveFile(path string) error {
+	return durable.WriteContainerFile(path, durable.KindPool,
+		durable.Options{Parity: durable.DefaultParity},
+		func(w *durable.Writer) error {
+			var buf bytes.Buffer
+			if err := p.Save(&buf); err != nil {
+				return err
+			}
+			return w.WriteFrame(poolFrame, buf.Bytes())
+		})
+}
+
+// LoadFile reads a pool from path. Container files are verified (and
+// silently repaired in memory when bit rot is within the parity budget);
+// files without the container magic fall back to the legacy bare-JSON
+// loader and return legacy=true so callers can nudge the operator to
+// re-save.
+func LoadFile(path string) (p *Pool, legacy bool, err error) {
+	frames, err := durable.ReadContainerFile(path, durable.KindPool)
+	if errors.Is(err, durable.ErrNotContainer) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, false, err
+		}
+		defer f.Close()
+		p, err := Load(f)
+		if err != nil {
+			return nil, true, err
+		}
+		return p, true, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	for _, fr := range frames {
+		if fr.Name == poolFrame {
+			p, err := Load(bytes.NewReader(fr.Payload))
+			return p, false, err
+		}
+	}
+	return nil, false, fmt.Errorf("store: %s has no %q section", path, poolFrame)
+}
+
+// LoadReader loads a pool from an in-memory stream, sniffing container
+// versus legacy JSON the same way LoadFile does. It exists for callers
+// (and fuzzers) that do not have a file.
+func LoadReader(r io.Reader) (*Pool, bool, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, false, err
+	}
+	_, frames, err := durable.ReadAll(bytes.NewReader(data))
+	if errors.Is(err, durable.ErrNotContainer) {
+		p, err := Load(bytes.NewReader(data))
+		return p, true, err
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	for _, fr := range frames {
+		if fr.Name == poolFrame {
+			p, err := Load(bytes.NewReader(fr.Payload))
+			return p, false, err
+		}
+	}
+	return nil, false, fmt.Errorf("store: container has no %q section", poolFrame)
+}

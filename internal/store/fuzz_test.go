@@ -1,0 +1,46 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadPool hardens the pool loader — both the legacy JSON path and the
+// container path — against arbitrary bytes: forged snapshots, invalid
+// strands, duplicate keys and mutated containers must error cleanly, never
+// panic.
+func FuzzLoadPool(f *testing.F) {
+	f.Add([]byte(`{"version":1,"options":{},"objects":[]}`))
+	f.Add([]byte(`{"version":1,"options":{"payload_bytes":8},"objects":[{"key":"a","primer":"ACGT","strands":["AACC"]}]}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`{"version":1,"objects":[{"key":"","primer":""}]}`))
+	f.Add([]byte(`{"version":1,"objects":[{"key":"a","primer":"XYZ!"}]}`))
+	f.Add([]byte(`{"version":1,"objects":[{"key":"a"},{"key":"a"}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+
+	// A valid container pool and a truncated copy.
+	p := New(Options{Seed: 1})
+	p.Store("k", []byte("fuzz seed payload"))
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err == nil {
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("DNAC\x01\x01\x10\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, _, err := LoadReader(bytes.NewReader(data))
+		if err == nil && p == nil {
+			t.Error("nil pool without error")
+		}
+		if p != nil {
+			// Accepted pools must be internally consistent.
+			for _, k := range p.Keys() {
+				if k == "" {
+					t.Error("accepted pool with empty key")
+				}
+			}
+			_ = p.NumStrands()
+		}
+	})
+}

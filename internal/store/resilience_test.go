@@ -180,7 +180,9 @@ func TestRetrieveAdaptiveEscalatesCoverage(t *testing.T) {
 		n := int(scale)
 		return channel.NewNaive("seq", channel.NanoporeMix(0.025)), channel.FixedCoverage(n)
 	}
-	data, _, attempts, err := p.RetrieveAdaptive(context.Background(), "doc", factory, RetryPolicy{MaxAttempts: 6, Backoff: 2}, 5)
+	// Jitter disabled and a high cap keep the doubling exact for assertion.
+	data, _, attempts, err := p.RetrieveAdaptive(context.Background(), "doc", factory,
+		RetryPolicy{MaxAttempts: 6, Backoff: 2, MaxScale: 64, Jitter: -1}, 5)
 	if err != nil {
 		t.Fatalf("escalation never recovered: %v", err)
 	}
@@ -242,5 +244,69 @@ func TestRetrieveAdaptiveCancellation(t *testing.T) {
 	}
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRetrieveAdaptiveBackoffCapAndJitter(t *testing.T) {
+	p, _ := resiliencePool(t)
+	// A dead region never recovers, so every attempt runs and the factory
+	// observes the full scale schedule.
+	record := func(scales *[]float64) SequencerFactory {
+		return func(attempt int, scale float64) (channel.Channel, channel.CoverageModel) {
+			*scales = append(*scales, scale)
+			return cleanChannel(), faults.ZeroCoverageRegion{Base: channel.FixedCoverage(4), Start: 0, Len: 8}
+		}
+	}
+
+	// Cap: with Backoff 2 and MaxScale 4, raw scales 1,2,4,8,16 must clamp
+	// to 1,2,4,4,4 (jitter off to keep them exact).
+	var capped []float64
+	pol := RetryPolicy{MaxAttempts: 5, Backoff: 2, MaxScale: 4, Jitter: -1}
+	p.RetrieveAdaptive(context.Background(), "doc", record(&capped), pol, 3)
+	want := []float64{1, 2, 4, 4, 4}
+	if len(capped) != len(want) {
+		t.Fatalf("saw %d attempts, want %d", len(capped), len(want))
+	}
+	for i := range want {
+		if capped[i] != want[i] {
+			t.Errorf("attempt %d scale = %v, want %v (all: %v)", i+1, capped[i], want[i], capped)
+		}
+	}
+
+	// Jitter: the first attempt is exact, retries deviate within ±Jitter of
+	// the capped schedule, and the whole schedule is seed-deterministic.
+	var j1, j2, j3 []float64
+	jpol := RetryPolicy{MaxAttempts: 4, Backoff: 2, MaxScale: 8, Jitter: 0.25}
+	p.RetrieveAdaptive(context.Background(), "doc", record(&j1), jpol, 3)
+	p.RetrieveAdaptive(context.Background(), "doc", record(&j2), jpol, 3)
+	p.RetrieveAdaptive(context.Background(), "doc", record(&j3), jpol, 4)
+	if j1[0] != 1 {
+		t.Errorf("first attempt jittered: %v", j1[0])
+	}
+	raw := []float64{1, 2, 4, 8}
+	deviated := false
+	for i := 1; i < len(j1); i++ {
+		lo, hi := raw[i]*0.75, raw[i]*1.25
+		if j1[i] < lo || j1[i] > hi {
+			t.Errorf("attempt %d scale %v outside [%v, %v]", i+1, j1[i], lo, hi)
+		}
+		if j1[i] != raw[i] {
+			deviated = true
+		}
+		if j1[i] != j2[i] {
+			t.Errorf("same seed, different jitter: %v vs %v", j1[i], j2[i])
+		}
+	}
+	if !deviated {
+		t.Error("jitter changed no scale")
+	}
+	same := true
+	for i := 1; i < len(j1) && i < len(j3); i++ {
+		if j1[i] != j3[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter")
 	}
 }
