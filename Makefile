@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-race fuzz-smoke bench
+.PHONY: build test verify verify-race chaos-smoke fuzz-smoke bench
 
 build:
 	$(GO) build ./...
@@ -8,8 +8,9 @@ build:
 test:
 	$(GO) test ./...
 
-# Tier-1 verification plus the race and fuzz gates — the target CI runs.
-verify: build test verify-race fuzz-smoke
+# Tier-1 verification plus the race, chaos and fuzz gates — the target CI
+# runs.
+verify: build test verify-race chaos-smoke fuzz-smoke
 
 # Race-detector pass over the concurrent packages: the simulator worker
 # pool and checkpointing (internal/channel), the adaptive retrieve path
@@ -18,13 +19,21 @@ verify-race:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/channel/... ./internal/store/... ./internal/durable/...
 
+# Chaos smoke: the dnasimd job-server drills — injected panics, stalls,
+# overload shedding, breaker trips and the drain/resume cycle — under the
+# race detector.
+chaos-smoke:
+	$(GO) test -race -count=1 ./internal/server/...
+
 # Short fuzz pass over every parser that consumes on-disk bytes: the
-# durable container reader, the pool loader, and the FASTA/FASTQ parsers.
+# durable container reader, the pool loader, the FASTA/FASTQ parsers, and
+# the fault-injection spec DSL.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadContainer -fuzztime=10s ./internal/durable/
 	$(GO) test -run='^$$' -fuzz=FuzzLoadPool -fuzztime=10s ./internal/store/
 	$(GO) test -run='^$$' -fuzz=FuzzReadFASTA -fuzztime=10s ./internal/seqio/
 	$(GO) test -run='^$$' -fuzz=FuzzReadFASTQ -fuzztime=10s ./internal/seqio/
+	$(GO) test -run='^$$' -fuzz=FuzzParseSpec -fuzztime=10s ./internal/faults/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

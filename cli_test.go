@@ -466,3 +466,62 @@ func TestCLIScrub(t *testing.T) {
 		t.Errorf("legacy pool did not list its key:\n%s", lsOut)
 	}
 }
+
+// runCLIFail runs a tool expecting a non-zero exit; it returns the exit
+// code and stderr.
+func runCLIFail(t *testing.T, dir, tool string, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(dir, tool), args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		t.Fatalf("%s %v unexpectedly succeeded", tool, args)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("%s %v: %v", tool, args, err)
+	}
+	return ee.ExitCode(), stderr.String()
+}
+
+// TestCLITimeout: -timeout bounds both long-running commands. An already
+// expired deadline is the deterministic worst case: dnasim must still
+// write its (empty) partial dataset and exit 124, and dnastore get must
+// report a timeout — told to stop — rather than data loss.
+func TestCLITimeout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI timeout drill builds binaries")
+	}
+	bin := buildCLIs(t)
+	work := t.TempDir()
+
+	refs := filepath.Join(work, "refs.txt")
+	if err := os.WriteFile(refs, []byte(strings.Repeat("ACGTACGTACGTACGTACGTACGTACGTACGT\n", 50)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	simOut := filepath.Join(work, "sim.txt")
+	code, stderr := runCLIFail(t, bin, "dnasim", "-refs", refs, "-coverage", "4", "-sub", "0.01",
+		"-timeout", "1ns", "-o", simOut)
+	if code != 124 {
+		t.Errorf("dnasim timeout exit = %d, want 124\nstderr: %s", code, stderr)
+	}
+	if _, err := os.Stat(simOut); err != nil {
+		t.Errorf("timed-out dnasim did not write the partial dataset: %v", err)
+	}
+
+	pool := filepath.Join(work, "pool.json")
+	payload := filepath.Join(work, "payload.bin")
+	if err := os.WriteFile(payload, []byte("timeout drill payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runCLI(t, bin, "dnastore", "put", "-pool", pool, "-key", "k", "-file", payload)
+	code, stderr = runCLIFail(t, bin, "dnastore", "get", "-pool", pool, "-key", "k",
+		"-o", filepath.Join(work, "out.bin"), "-timeout", "1ns")
+	if code != 1 {
+		t.Errorf("dnastore get timeout exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "timed out") {
+		t.Errorf("dnastore get timeout not reported as such:\nstderr: %s", stderr)
+	}
+}

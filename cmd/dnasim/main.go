@@ -48,6 +48,7 @@ func main() {
 		faultSpec  = flag.String("faults", "", "fault injection spec (e.g. dropout=0.1,truncate=0.3:0.5,contam=0.02,zerocov=10:5)")
 		ckptPath   = flag.String("checkpoint", "", "journal completed clusters to this file; rerunning resumes instead of restarting")
 		crashAfter = flag.Int("crash-after", 0, "crash drill: kill the process after N checkpoint commits (requires -checkpoint)")
+		timeout    = flag.Duration("timeout", 0, "abort the run after this long; the partial dataset is still written (0 = unbounded)")
 	)
 	flag.Parse()
 	if *refsPath == "" {
@@ -107,9 +108,15 @@ func main() {
 	ch, cov = spec.Wrap(ch, cov)
 
 	// SIGINT drains gracefully: the simulator stops between clusters and
-	// the partial dataset is still written out.
+	// the partial dataset is still written out. -timeout bounds the run the
+	// same way — deadline expiry behaves exactly like an interrupt.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	sim := channel.Simulator{Channel: ch, Coverage: cov}
 	var (
@@ -175,6 +182,10 @@ func main() {
 		}
 		if errors.Is(simErr, context.Canceled) {
 			os.Exit(130)
+		}
+		if errors.Is(simErr, context.DeadlineExceeded) {
+			// Same convention as timeout(1).
+			os.Exit(124)
 		}
 		os.Exit(1)
 	}

@@ -1,0 +1,97 @@
+// Command dnasimd is the resident simulation service: an HTTP job server
+// that accepts simulation and retrieval jobs, executes them on a
+// supervised worker pool, and survives overload, stalls, I/O faults and
+// shutdown signals without losing admitted work.
+//
+//	dnasimd -addr :8080 -data /var/lib/dnasimd
+//
+// Submit a job and poll it:
+//
+//	curl -s localhost:8080/v1/jobs -d '{"kind":"simulate","simulate":{"num_refs":100,"ref_len":110,"seed":7,"sub":0.01,"ins":0.005,"del":0.02,"coverage":8}}'
+//	curl -s localhost:8080/v1/jobs/j000001
+//	curl -s localhost:8080/v1/jobs/j000001/result -o sim.txt
+//
+// SIGTERM (or SIGINT) drains gracefully: admission stops, in-flight jobs
+// finish or checkpoint their progress to the durable journal in -data,
+// and the process exits 0. Resubmitting an identical simulation spec
+// against the same -data dir resumes from the journal, byte-identically.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dnastore/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		dataDir     = flag.String("data", "", "data directory for checkpoint journals (empty disables checkpointing)")
+		queueCap    = flag.Int("queue", 64, "admission queue capacity; beyond it submissions are shed with 503 + Retry-After")
+		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		maxAttempts = flag.Int("max-attempts", 3, "supervised execution attempts per job")
+		stallAfter  = flag.Duration("stall-after", 30*time.Second, "kill a job attempt after this long without cluster progress (negative disables)")
+		drainGrace  = flag.Duration("drain-grace", 30*time.Second, "how long drain waits for non-checkpointable jobs")
+		jobTimeout  = flag.Duration("job-timeout", 0, "default per-job deadline for jobs that set none (0 = unbounded)")
+		brkFails    = flag.Int("breaker-failures", 5, "consecutive I/O failures that trip the circuit breaker")
+		brkCooldown = flag.Duration("breaker-cooldown", 10*time.Second, "open-breaker cooldown before a half-open probe")
+	)
+	flag.Parse()
+
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			log.Fatalf("dnasimd: data dir: %v", err)
+		}
+	}
+	logger := log.New(os.Stderr, "dnasimd: ", log.LstdFlags)
+	srv := server.New(server.Config{
+		QueueCapacity:     *queueCap,
+		Workers:           *workers,
+		DataDir:           *dataDir,
+		MaxAttempts:       *maxAttempts,
+		StallAfter:        *stallAfter,
+		DrainGrace:        *drainGrace,
+		DefaultJobTimeout: *jobTimeout,
+		BreakerThreshold:  *brkFails,
+		BreakerCooldown:   *brkCooldown,
+		Logf:              logger.Printf,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (queue=%d workers=%d data=%q)", *addr, *queueCap, *workers, *dataDir)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
+	select {
+	case sig := <-sigCh:
+		logger.Printf("%s: draining", sig)
+		// Drain first — admission stops, /readyz flips, in-flight jobs
+		// finish or checkpoint — and only then close the listener, so
+		// status and result queries keep working throughout the drain.
+		srv.Drain()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("http shutdown: %v", err)
+		}
+		logger.Printf("drained; exiting")
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "dnasimd:", err)
+			os.Exit(1)
+		}
+	}
+}

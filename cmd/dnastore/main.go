@@ -67,7 +67,7 @@ subcommands:
   get  -pool <file> -key <key> -o <path>      retrieve through a simulated sequencing run
        [-error 0.02] [-coverage 14] [-seed 7] [-skew]
        [-faults dropout=0.1,truncate=0.3:0.5,contam=0.02,zerocov=4:2]
-       [-retries 2] [-backoff 2.0]
+       [-retries 2] [-backoff 2.0] [-timeout 30s]
   scrub [-repair] <file|dir> ...              verify container checksums; -repair rewrites
                                               what Reed-Solomon parity can restore`)
 }
@@ -151,6 +151,7 @@ func cmdGet(args []string) error {
 	faultSpec := fs.String("faults", "", "fault injection spec (e.g. dropout=0.1,truncate=0.3)")
 	retries := fs.Int("retries", 2, "re-sequencing attempts after a failed decode")
 	backoff := fs.Float64("backoff", 2.0, "coverage escalation factor per retry")
+	timeout := fs.Duration("timeout", 0, "give up on the retrieval after this long (0 = unbounded)")
 	fs.Parse(args)
 	if *key == "" || *out == "" {
 		return fmt.Errorf("get needs -key and -o")
@@ -165,6 +166,11 @@ func cmdGet(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	factory := func(attempt int, scale float64) (channel.Channel, channel.CoverageModel) {
 		m := channel.NewNaive("sequencer", channel.NanoporeMix(*errRate))
@@ -193,7 +199,12 @@ func cmdGet(args []string) error {
 			// operators see exactly which strands are gone, not just a
 			// decode error.
 			fmt.Fprintf(os.Stderr, "erasure report after %d attempts: %s\n", attempts, rep.Summary())
-			if errors.Is(pre.Err, context.Canceled) {
+			// "Told to stop" reads differently from "gave up": a canceled
+			// or timed-out retrieval is not evidence the data is gone.
+			if pre.Canceled() {
+				if errors.Is(pre.Err, context.DeadlineExceeded) {
+					return fmt.Errorf("get %q timed out after %s", *key, *timeout)
+				}
 				return fmt.Errorf("get %q interrupted", *key)
 			}
 		}

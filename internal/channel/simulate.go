@@ -40,6 +40,33 @@ func (e ClusterError) Error() string { return fmt.Sprintf("cluster %d: %v", e.In
 // Unwrap exposes the underlying failure.
 func (e ClusterError) Unwrap() error { return e.Err }
 
+// ProgressFunc observes simulation progress: it is called after every
+// completed (or checkpoint-restored) cluster with the number completed so
+// far and the total requested. Calls come from simulation worker
+// goroutines concurrently, so implementations must be safe for concurrent
+// use — typically an atomic timestamp or counter. The watchdog in
+// internal/server uses it to detect stalled jobs.
+type ProgressFunc func(completed, total int)
+
+// progressKey carries a ProgressFunc through a context.
+type progressKey struct{}
+
+// WithProgress returns a context that makes every SimulateCtx,
+// SimulateCheckpoint or Pool sequencing run under it report per-cluster
+// progress to fn. The hook rides the context rather than the Simulator so
+// that callers several layers up (an HTTP job server timing out stalled
+// work) can observe progress without threading a parameter through every
+// intermediate API.
+func WithProgress(ctx context.Context, fn ProgressFunc) context.Context {
+	return context.WithValue(ctx, progressKey{}, fn)
+}
+
+// progressFrom extracts the progress hook, nil when absent.
+func progressFrom(ctx context.Context) ProgressFunc {
+	fn, _ := ctx.Value(progressKey{}).(ProgressFunc)
+	return fn
+}
+
 // SimulationError aggregates everything that cut a SimulateCtx run short.
 // The dataset returned alongside it is still structurally valid: failed and
 // skipped clusters degrade to their reference with zero reads, so partial
@@ -144,6 +171,14 @@ func (s Simulator) simulateWith(ctx context.Context, name string, refs []dna.Str
 		clusterErrs []ClusterError
 		completed   atomic.Int64
 	)
+	progress := progressFrom(ctx)
+	total := len(refs)
+	advance := func() {
+		n := completed.Add(1)
+		if progress != nil {
+			progress(int(n), total)
+		}
+	}
 	chunk := (len(refs) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -166,7 +201,7 @@ func (s Simulator) simulateWith(ctx context.Context, name string, refs []dna.Str
 						// Already journaled by a previous run: restore
 						// verbatim instead of re-simulating.
 						ds.Clusters[i] = dataset.Cluster{Ref: refs[i], Reads: reads}
-						completed.Add(1)
+						advance()
 						continue
 					}
 				}
@@ -185,7 +220,7 @@ func (s Simulator) simulateWith(ctx context.Context, name string, refs []dna.Str
 						continue
 					}
 				}
-				completed.Add(1)
+				advance()
 			}
 		}(lo, hi)
 	}

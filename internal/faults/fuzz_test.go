@@ -1,0 +1,64 @@
+package faults
+
+import (
+	"testing"
+)
+
+// FuzzParseSpec hardens the -faults spec DSL parser — the one text parser
+// in the tree that consumes operator input directly. Arbitrary strings must
+// either parse into a spec that round-trips through String(), or error
+// cleanly; never panic, and never accept out-of-range probabilities or
+// regions that the injectors would misbehave on.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("")
+	f.Add("dropout=0.1")
+	f.Add("dropout=0.1,truncate=0.3:0.5,contam=0.02,zerocov=10:5")
+	f.Add("truncate=1")
+	f.Add("truncate=0.5:0.99")
+	f.Add("zerocov=0:1")
+	f.Add("dropout=1.5")
+	f.Add("dropout=-1")
+	f.Add("dropout=NaN")
+	f.Add("truncate=0.5:nope")
+	f.Add("zerocov=5")
+	f.Add("zerocov=-1:3")
+	f.Add("bogus=1")
+	f.Add("dropout")
+	f.Add(",,,")
+	f.Add("dropout=0.1,dropout=0.2")
+	f.Add(" dropout = 0.5 ")
+	f.Add("truncate=1e-300:0.5,contam=0x1p-3")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		sp, err := ParseSpec(s)
+		if err != nil {
+			if sp != (Spec{}) {
+				t.Errorf("ParseSpec(%q) errored but returned non-zero spec %+v", s, sp)
+			}
+			return
+		}
+		// Accepted specs must be in-range: the injectors treat these as
+		// probabilities and slice bounds without re-validating.
+		for name, p := range map[string]float64{
+			"Dropout": sp.Dropout, "TruncP": sp.TruncP, "ContamP": sp.ContamP,
+		} {
+			if p < 0 || p > 1 || p != p {
+				t.Errorf("ParseSpec(%q) accepted %s = %v", s, name, p)
+			}
+		}
+		if sp.TruncMinFrac != 0 && (sp.TruncMinFrac <= 0 || sp.TruncMinFrac >= 1) {
+			t.Errorf("ParseSpec(%q) accepted TruncMinFrac = %v", s, sp.TruncMinFrac)
+		}
+		if sp.ZeroStart < 0 || sp.ZeroLen < 0 {
+			t.Errorf("ParseSpec(%q) accepted negative zerocov %d:%d", s, sp.ZeroStart, sp.ZeroLen)
+		}
+		// String() must render a spec that parses back to the same value —
+		// the CLI echoes specs and the server persists them in job specs.
+		rt, err := ParseSpec(sp.String())
+		if err != nil {
+			t.Errorf("round-trip ParseSpec(%q -> %q) failed: %v", s, sp.String(), err)
+		} else if rt != sp {
+			t.Errorf("round-trip mismatch: %q -> %+v -> %q -> %+v", s, sp, sp.String(), rt)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -59,7 +60,7 @@ func ParseSpec(s string) (Spec, error) {
 			sp.TruncP = p
 			if hasMin {
 				m, err := strconv.ParseFloat(minStr, 64)
-				if err != nil || m <= 0 || m >= 1 {
+				if err != nil || math.IsNaN(m) || m <= 0 || m >= 1 {
 					return Spec{}, fmt.Errorf("faults: truncate min fraction %q must be in (0,1)", minStr)
 				}
 				sp.TruncMinFrac = m
@@ -85,13 +86,20 @@ func ParseSpec(s string) (Spec, error) {
 			return Spec{}, fmt.Errorf("faults: unknown directive %q", key)
 		}
 	}
+	if sp.TruncP == 0 {
+		// truncate=0 disables the injector; a min fraction riding along is
+		// dead configuration, normalised away so specs round-trip.
+		sp.TruncMinFrac = 0
+	}
 	return sp, nil
 }
 
-// parseProb parses a probability in [0,1].
+// parseProb parses a probability in [0,1]. NaN is rejected explicitly:
+// every range comparison against NaN is false, so without the check it
+// would slip through and poison every downstream rng.Bool draw.
 func parseProb(key, val string) (float64, error) {
 	p, err := strconv.ParseFloat(val, 64)
-	if err != nil || p < 0 || p > 1 {
+	if err != nil || math.IsNaN(p) || p < 0 || p > 1 {
 		return 0, fmt.Errorf("faults: %s probability %q must be in [0,1]", key, val)
 	}
 	return p, nil

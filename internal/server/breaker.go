@@ -1,0 +1,152 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned by Breaker.Do while the breaker is open and
+// its cooldown has not elapsed. Callers fail fast instead of hammering a
+// dependency that is already down.
+var ErrBreakerOpen = errors.New("server: I/O circuit breaker open")
+
+// BreakerState is the classic three-state circuit-breaker machine.
+type BreakerState string
+
+const (
+	// BreakerClosed passes every call through; consecutive failures are
+	// counted and trip the breaker at the threshold.
+	BreakerClosed BreakerState = "closed"
+	// BreakerOpen fails every call fast until the cooldown elapses.
+	BreakerOpen BreakerState = "open"
+	// BreakerHalfOpen lets exactly one probe through; its outcome closes
+	// or re-opens the breaker.
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// Breaker is a circuit breaker around the service's pool/disk I/O. The
+// failure mode it guards against is a dependency that fails slowly — a
+// rotting pool file that costs a full parse-and-verify before erroring, a
+// disk that hangs — where every queued job paying that cost in turn would
+// amplify one fault into total service degradation. After Threshold
+// consecutive failures the breaker opens and jobs fail fast; after
+// Cooldown one half-open probe decides whether the dependency recovered.
+//
+// The zero value is not usable; call NewBreaker.
+type Breaker struct {
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int       // consecutive failures while closed
+	openedAt  time.Time // when the breaker last tripped
+	probing   bool      // a half-open probe is in flight
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+}
+
+// NewBreaker returns a closed breaker tripping after threshold consecutive
+// failures and probing again after cooldown. Non-positive arguments take
+// the defaults (5 failures, 10s).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 10 * time.Second
+	}
+	return &Breaker{state: BreakerClosed, threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// State returns the breaker's current state, accounting for an elapsed
+// cooldown (an open breaker past its cooldown reports half-open).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// allow reserves the right to make one call. It returns ErrBreakerOpen
+// when the call must be shed; otherwise the caller must report the outcome
+// via record.
+func (b *Breaker) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return ErrBreakerOpen
+		}
+		// Cooldown elapsed: become half-open and admit this call as the
+		// probe.
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return nil
+	case BreakerHalfOpen:
+		if b.probing {
+			// Someone else's probe is still in flight; shed.
+			return ErrBreakerOpen
+		}
+		b.probing = true
+		return nil
+	}
+	return fmt.Errorf("server: breaker in impossible state %q", b.state)
+}
+
+// record reports the outcome of an allowed call.
+func (b *Breaker) record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		// Success closes the breaker from any state.
+		b.state = BreakerClosed
+		b.failures = 0
+		b.probing = false
+		return
+	}
+	switch b.state {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.trip()
+		}
+	case BreakerHalfOpen:
+		// The probe failed: back to fully open, restart the cooldown.
+		b.trip()
+	case BreakerOpen:
+		// A straggler from before the trip; nothing to update.
+	}
+}
+
+// trip opens the breaker. Callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.failures = 0
+	b.probing = false
+}
+
+// Do runs f under the breaker: it fails fast with ErrBreakerOpen while the
+// breaker is open, and otherwise records f's outcome. A panic in f counts
+// as a failure and is re-raised.
+func (b *Breaker) Do(f func() error) error {
+	if err := b.allow(); err != nil {
+		return err
+	}
+	done := false
+	defer func() {
+		if !done {
+			b.record(errors.New("panic"))
+		}
+	}()
+	err := f()
+	done = true
+	b.record(err)
+	return err
+}

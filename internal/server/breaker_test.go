@@ -1,0 +1,119 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	b := NewBreaker(threshold, cooldown)
+	c := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = c.now
+	return b, c
+}
+
+var errIO = errors.New("disk exploded")
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	fail := func() error { return errIO }
+	for i := 0; i < 3; i++ {
+		if err := b.Do(fail); !errors.Is(err, errIO) {
+			t.Fatalf("call %d: err = %v, want passthrough", i, err)
+		}
+	}
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state after threshold = %v, want open", st)
+	}
+	// Open: calls are shed without running f.
+	ran := false
+	err := b.Do(func() error { ran = true; return nil })
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Errorf("open breaker err = %v, want ErrBreakerOpen", err)
+	}
+	if ran {
+		t.Error("open breaker ran the function")
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.Do(func() error { return errIO })
+	b.Do(func() error { return errIO })
+	b.Do(func() error { return nil }) // resets
+	b.Do(func() error { return errIO })
+	b.Do(func() error { return errIO })
+	if st := b.State(); st != BreakerClosed {
+		t.Errorf("state = %v, want closed: success must reset the streak", st)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clock := newTestBreaker(2, time.Second)
+	b.Do(func() error { return errIO })
+	b.Do(func() error { return errIO })
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state = %v, want open", st)
+	}
+
+	// Failed probe after cooldown re-opens and restarts the cooldown.
+	clock.advance(time.Second)
+	if st := b.State(); st != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", st)
+	}
+	if err := b.Do(func() error { return errIO }); !errors.Is(err, errIO) {
+		t.Fatalf("probe err = %v", err)
+	}
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open again", st)
+	}
+	if err := b.Do(func() error { return nil }); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("call during restarted cooldown = %v, want ErrBreakerOpen", err)
+	}
+
+	// Successful probe closes.
+	clock.advance(time.Second)
+	if err := b.Do(func() error { return nil }); err != nil {
+		t.Fatalf("successful probe err = %v", err)
+	}
+	if st := b.State(); st != BreakerClosed {
+		t.Errorf("state after successful probe = %v, want closed", st)
+	}
+	if err := b.Do(func() error { return nil }); err != nil {
+		t.Errorf("closed breaker sheds: %v", err)
+	}
+}
+
+func TestBreakerHalfOpenAdmitsOneProbe(t *testing.T) {
+	b, clock := newTestBreaker(1, time.Second)
+	b.Do(func() error { return errIO })
+	clock.advance(time.Second)
+	// First allow becomes the probe; a second concurrent call is shed.
+	if err := b.allow(); err != nil {
+		t.Fatalf("probe not admitted: %v", err)
+	}
+	if err := b.allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second concurrent probe admitted: %v", err)
+	}
+	b.record(nil)
+	if st := b.State(); st != BreakerClosed {
+		t.Errorf("state = %v, want closed", st)
+	}
+}
+
+func TestBreakerPanicCountsAsFailure(t *testing.T) {
+	b, _ := newTestBreaker(1, time.Minute)
+	func() {
+		defer func() { recover() }()
+		b.Do(func() error { panic("boom") })
+	}()
+	if st := b.State(); st != BreakerOpen {
+		t.Errorf("state after panic = %v, want open", st)
+	}
+}

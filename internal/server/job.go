@@ -1,0 +1,381 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnastore/internal/channel"
+	"dnastore/internal/dist"
+	"dnastore/internal/dna"
+	"dnastore/internal/faults"
+)
+
+// JobKind selects the workload a job runs.
+type JobKind string
+
+const (
+	// KindSimulate runs the noisy-channel simulator over reference strands
+	// and returns the clustered dataset.
+	KindSimulate JobKind = "simulate"
+	// KindRetrieve runs the resilient read path against a stored pool file
+	// and returns the recovered object bytes.
+	KindRetrieve JobKind = "retrieve"
+)
+
+// JobState is the lifecycle of a submitted job.
+type JobState string
+
+const (
+	// StateQueued: admitted, waiting for a worker.
+	StateQueued JobState = "queued"
+	// StateRunning: executing on a worker.
+	StateRunning JobState = "running"
+	// StateDone: completed; the result is available.
+	StateDone JobState = "done"
+	// StateFailed: exhausted its attempts or hit a non-retryable error.
+	StateFailed JobState = "failed"
+	// StateCanceled: stopped by client request or abandoned at drain
+	// without a journal.
+	StateCanceled JobState = "canceled"
+	// StateCheckpointed: interrupted by drain with its progress journaled;
+	// resubmitting the same spec resumes from the journal.
+	StateCheckpointed JobState = "checkpointed"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCanceled, StateCheckpointed:
+		return true
+	}
+	return false
+}
+
+// SimulateSpec parameterises a simulation job. References are either given
+// inline or generated; everything is seeded, so the same spec always
+// produces the same dataset — which is also what makes a drained job
+// resumable: the spec hash names its checkpoint journal.
+type SimulateSpec struct {
+	// Refs are explicit reference strands; empty means generate NumRefs
+	// random references of RefLen bases from the seed.
+	Refs []string `json:"refs,omitempty"`
+	// NumRefs and RefLen size the generated reference set when Refs is
+	// empty.
+	NumRefs int `json:"num_refs,omitempty"`
+	RefLen  int `json:"ref_len,omitempty"`
+	// Seed drives every stochastic choice.
+	Seed uint64 `json:"seed"`
+	// Sub, Ins, Del are the per-base channel error rates.
+	Sub float64 `json:"sub,omitempty"`
+	Ins float64 `json:"ins,omitempty"`
+	Del float64 `json:"del,omitempty"`
+	// Spatial is the error position distribution (uniform when empty).
+	Spatial string `json:"spatial,omitempty"`
+	// Coverage is the reads-per-cluster target; CoverageModel picks the
+	// sampler (fixed, negbin, poisson, normal; fixed when empty).
+	Coverage      float64 `json:"coverage,omitempty"`
+	CoverageModel string  `json:"coverage_model,omitempty"`
+	// Faults is a fault-injection spec in the -faults DSL.
+	Faults string `json:"faults,omitempty"`
+}
+
+// Validate checks the spec and applies defaults.
+func (sp *SimulateSpec) Validate() error {
+	if len(sp.Refs) == 0 {
+		if sp.NumRefs <= 0 || sp.RefLen <= 0 {
+			return errors.New("simulate spec needs refs or num_refs+ref_len")
+		}
+		if sp.NumRefs > 1<<20 || sp.RefLen > 1<<16 {
+			return fmt.Errorf("simulate spec too large: %d refs of %d bases", sp.NumRefs, sp.RefLen)
+		}
+	}
+	for _, r := range sp.Refs {
+		if err := dna.Strand(r).Validate(); err != nil {
+			return fmt.Errorf("invalid reference: %w", err)
+		}
+	}
+	rates := channel.Rates{Sub: sp.Sub, Ins: sp.Ins, Del: sp.Del}
+	if err := rates.Validate(); err != nil {
+		return err
+	}
+	if sp.Coverage <= 0 {
+		sp.Coverage = 6
+	}
+	switch sp.CoverageModel {
+	case "", "fixed", "negbin", "poisson", "normal":
+	default:
+		return fmt.Errorf("unknown coverage model %q", sp.CoverageModel)
+	}
+	if sp.Spatial != "" && sp.Spatial != "uniform" {
+		if _, err := dist.ByName(sp.Spatial); err != nil {
+			return err
+		}
+	}
+	if _, err := faults.ParseSpec(sp.Faults); err != nil {
+		return err
+	}
+	return nil
+}
+
+// References materialises the reference strands.
+func (sp *SimulateSpec) References() []dna.Strand {
+	if len(sp.Refs) > 0 {
+		refs := make([]dna.Strand, len(sp.Refs))
+		for i, r := range sp.Refs {
+			refs[i] = dna.Strand(r)
+		}
+		return refs
+	}
+	// The reference seed is split from the read seed so reads and
+	// references stay independent streams.
+	return channel.RandomReferences(sp.NumRefs, sp.RefLen, sp.Seed^0xa5a5a5a5a5a5a5a5)
+}
+
+// Simulator builds the channel and coverage model the spec describes.
+func (sp *SimulateSpec) Simulator() (channel.Channel, channel.CoverageModel, error) {
+	m := channel.NewNaive("dnasimd", channel.Rates{Sub: sp.Sub, Ins: sp.Ins, Del: sp.Del})
+	var ch channel.Channel = m
+	if sp.Spatial != "" && sp.Spatial != "uniform" {
+		spat, err := dist.ByName(sp.Spatial)
+		if err != nil {
+			return nil, nil, err
+		}
+		ch = m.WithSpatial(spat)
+	}
+	var cov channel.CoverageModel
+	switch sp.CoverageModel {
+	case "", "fixed":
+		cov = channel.FixedCoverage(int(sp.Coverage))
+	case "negbin":
+		cov = channel.NegBinCoverage{Mean: sp.Coverage, Dispersion: 2.5}
+	case "poisson":
+		cov = channel.PoissonCoverage(sp.Coverage)
+	case "normal":
+		cov = channel.NormalCoverage{Mean: sp.Coverage, SD: sp.Coverage / 3}
+	default:
+		return nil, nil, fmt.Errorf("unknown coverage model %q", sp.CoverageModel)
+	}
+	spec, err := faults.ParseSpec(sp.Faults)
+	if err != nil {
+		return nil, nil, err
+	}
+	ch, cov = spec.Wrap(ch, cov)
+	return ch, cov, nil
+}
+
+// Fingerprint hashes the spec's canonical JSON. It names the checkpoint
+// journal, so a resubmitted identical spec resumes where a drained run
+// stopped.
+func (sp *SimulateSpec) Fingerprint() uint64 {
+	b, _ := json.Marshal(sp)
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// RetrieveSpec parameterises a retrieval job: the resilient read path of
+// Pool.RetrieveAdaptive against a pool file on disk.
+type RetrieveSpec struct {
+	// PoolPath is the pool container file (read through the I/O breaker).
+	PoolPath string `json:"pool_path"`
+	// Key is the object to recover.
+	Key string `json:"key"`
+	// ErrorRate and Coverage configure the simulated sequencer.
+	ErrorRate float64 `json:"error_rate,omitempty"`
+	Coverage  float64 `json:"coverage,omitempty"`
+	// Seed drives the sequencing run.
+	Seed uint64 `json:"seed"`
+	// Retries and Backoff bound the adaptive re-sequencing loop.
+	Retries int     `json:"retries,omitempty"`
+	Backoff float64 `json:"backoff,omitempty"`
+	// Faults is a fault-injection spec in the -faults DSL.
+	Faults string `json:"faults,omitempty"`
+}
+
+// Validate checks the spec and applies defaults.
+func (sp *RetrieveSpec) Validate() error {
+	if sp.PoolPath == "" || sp.Key == "" {
+		return errors.New("retrieve spec needs pool_path and key")
+	}
+	if sp.ErrorRate < 0 || sp.ErrorRate > 1 {
+		return fmt.Errorf("error_rate %v out of [0,1]", sp.ErrorRate)
+	}
+	if sp.Coverage <= 0 {
+		sp.Coverage = 14
+	}
+	if sp.Retries < 0 {
+		return fmt.Errorf("retries %d negative", sp.Retries)
+	}
+	if _, err := faults.ParseSpec(sp.Faults); err != nil {
+		return err
+	}
+	return nil
+}
+
+// JobSpec is the submission payload: one kind plus its parameters and an
+// optional per-job deadline.
+type JobSpec struct {
+	Kind JobKind `json:"kind"`
+	// TimeoutMS bounds the job's execution (0 means the server default).
+	// The deadline flows into SimulateCtx / RetrieveAdaptive as a context
+	// deadline.
+	TimeoutMS int64         `json:"timeout_ms,omitempty"`
+	Simulate  *SimulateSpec `json:"simulate,omitempty"`
+	Retrieve  *RetrieveSpec `json:"retrieve,omitempty"`
+}
+
+// Validate checks kind/params consistency.
+func (s *JobSpec) Validate() error {
+	if s.TimeoutMS < 0 {
+		return errors.New("timeout_ms negative")
+	}
+	switch s.Kind {
+	case KindSimulate:
+		if s.Simulate == nil || s.Retrieve != nil {
+			return errors.New("simulate job needs exactly the simulate params")
+		}
+		return s.Simulate.Validate()
+	case KindRetrieve:
+		if s.Retrieve == nil || s.Simulate != nil {
+			return errors.New("retrieve job needs exactly the retrieve params")
+		}
+		return s.Retrieve.Validate()
+	}
+	return fmt.Errorf("unknown job kind %q", s.Kind)
+}
+
+// Progress is a jobs's cluster-completion counter.
+type Progress struct {
+	Completed int `json:"completed"`
+	Total     int `json:"total"`
+}
+
+// Job is one admitted unit of work. Mutable state is guarded by mu; the
+// progress stamp is atomic because simulation workers hit it concurrently.
+type Job struct {
+	// ID is the server-assigned handle.
+	ID string
+	// Spec is the validated submission.
+	Spec JobSpec
+
+	mu       sync.Mutex
+	state    JobState
+	attempts int
+	err      error
+	result   []byte
+	progress Progress
+	// cancel stops the current execution attempt with a cause; nil while
+	// not running.
+	cancel func(cause error)
+	// ckpt is the simulation job's open journal handle, shared across
+	// attempts so an abandoned attempt and its requeue never hold two
+	// handles on the same file.
+	ckpt *channel.Checkpoint
+	// done is closed when the job reaches a terminal state.
+	done chan struct{}
+
+	// lastProgress is the unix-nano timestamp of the last observed cluster
+	// completion (or attempt start); the watchdog compares it to now.
+	lastProgress atomic.Int64
+}
+
+// newJob returns a queued job.
+func newJob(id string, spec JobSpec) *Job {
+	j := &Job{ID: id, Spec: spec, state: StateQueued, done: make(chan struct{})}
+	j.touch()
+	return j
+}
+
+// touch stamps progress now; called at attempt start and per cluster.
+func (j *Job) touch() { j.lastProgress.Store(time.Now().UnixNano()) }
+
+// sinceProgress returns the time since the last progress stamp.
+func (j *Job) sinceProgress() time.Duration {
+	return time.Duration(time.Now().UnixNano() - j.lastProgress.Load())
+}
+
+// setProgress records cluster completion counts (and stamps the watchdog
+// clock). Safe for concurrent use.
+func (j *Job) setProgress(completed, total int) {
+	j.touch()
+	j.mu.Lock()
+	if completed > j.progress.Completed || total != j.progress.Total {
+		j.progress = Progress{Completed: completed, Total: total}
+	}
+	j.mu.Unlock()
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the job's output once done.
+func (j *Job) Result() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil, false
+	}
+	return j.result, true
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *Job) finish(state JobState, result []byte, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finishLocked(state, result, err)
+}
+
+// finishLocked is finish for callers already holding j.mu.
+func (j *Job) finishLocked(state JobState, result []byte, err error) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.result = result
+	j.err = err
+	j.cancel = nil
+	close(j.done)
+}
+
+// Status is the JSON snapshot the HTTP API serves.
+type Status struct {
+	ID       string   `json:"id"`
+	Kind     JobKind  `json:"kind"`
+	State    JobState `json:"state"`
+	Attempts int      `json:"attempts"`
+	Progress Progress `json:"progress"`
+	Error    string   `json:"error,omitempty"`
+	// Resumable marks a checkpointed job whose journal survives:
+	// resubmitting the same spec continues it.
+	Resumable bool `json:"resumable,omitempty"`
+}
+
+// Snapshot returns the job's current status.
+func (j *Job) Snapshot() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:       j.ID,
+		Kind:     j.Spec.Kind,
+		State:    j.state,
+		Attempts: j.attempts,
+		Progress: j.progress,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	st.Resumable = j.state == StateCheckpointed
+	return st
+}

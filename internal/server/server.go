@@ -1,0 +1,459 @@
+// Package server implements dnasimd: a hardened, long-running job service
+// over the simulation and retrieval primitives built in earlier layers.
+// Clients submit simulation and retrieval jobs over HTTP (submit / status
+// / result / cancel); a supervised worker pool executes them.
+//
+// Robustness is layered through the whole request lifecycle:
+//
+//   - Admission control: a bounded queue sheds excess load with 503 +
+//     Retry-After instead of growing without bound.
+//   - Deadline propagation: per-job (and server-default) timeouts flow as
+//     context deadlines into SimulateCtx / RetrieveAdaptive.
+//   - Supervision: per-cluster panic isolation (SimulateCtx), a top-level
+//     recover per attempt, and a stall watchdog that kills attempts making
+//     no cluster progress and requeues them under an attempt cap.
+//   - Circuit breaker: pool/disk I/O trips open on consecutive failures
+//     and fails fast until a half-open probe succeeds.
+//   - Graceful drain: SIGTERM stops admission, lets in-flight jobs finish
+//     or checkpoint to the durable journal, and exits cleanly; /healthz
+//     and /readyz reflect each phase.
+//
+// Determinism is preserved end to end: jobs execute clusters via the
+// per-cluster split-RNG scheme, so output is byte-identical regardless of
+// worker count, stall kills, requeues, or drain/resume cycles.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"dnastore/internal/channel"
+)
+
+// Phase is the server lifecycle state exposed by /healthz and /readyz.
+type Phase string
+
+const (
+	// PhaseServing: admitting and executing jobs.
+	PhaseServing Phase = "serving"
+	// PhaseDraining: admission stopped; in-flight jobs finishing or
+	// checkpointing.
+	PhaseDraining Phase = "draining"
+	// PhaseStopped: every worker exited; the process is about to leave.
+	PhaseStopped Phase = "stopped"
+)
+
+// Config parameterises a Server. The zero value is usable: every field
+// has a production-shaped default.
+type Config struct {
+	// QueueCapacity bounds the admission queue (default 64). Submissions
+	// beyond it are shed with 503 + Retry-After.
+	QueueCapacity int
+	// Workers sizes the worker pool (default GOMAXPROCS).
+	Workers int
+	// DataDir, when set, enables checkpoint journals for simulation jobs
+	// (and is where drained jobs park their resumable state).
+	DataDir string
+	// MaxAttempts caps supervised retries per job (default 3).
+	MaxAttempts int
+	// StallAfter is how long a running job may go without completing a
+	// cluster before the watchdog kills the attempt (default 30s;
+	// negative disables).
+	StallAfter time.Duration
+	// WatchdogInterval is the stall scan period (default 1s).
+	WatchdogInterval time.Duration
+	// KillGrace is how long a killed attempt gets to exit voluntarily
+	// before the worker abandons its goroutine (default 2s).
+	KillGrace time.Duration
+	// DrainGrace bounds how long Drain waits for non-checkpointable jobs
+	// before canceling them (default 30s).
+	DrainGrace time.Duration
+	// DefaultJobTimeout bounds jobs that set no timeout_ms (default: none).
+	DefaultJobTimeout time.Duration
+	// BreakerThreshold and BreakerCooldown configure the I/O circuit
+	// breaker (defaults 5 failures, 10s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// EstimatedJobTime seeds the Retry-After estimate (default 2s).
+	EstimatedJobTime time.Duration
+	// WrapSimulation, when set, wraps every simulation job's channel and
+	// coverage model — the chaos-drill injection point for panic, stall
+	// and latency injectors.
+	WrapSimulation func(ch channel.Channel, cov channel.CoverageModel) (channel.Channel, channel.CoverageModel)
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// Server is the dnasimd job service. It implements http.Handler; the
+// binary wires it to a net/http.Server and signal handling.
+type Server struct {
+	cfg      Config
+	queue    *jobQueue
+	dog      *watchdog
+	breaker  *Breaker
+	workerWG sync.WaitGroup
+
+	mu     sync.Mutex
+	phase  Phase
+	jobs   map[string]*Job
+	nextID int
+
+	drainOnce sync.Once
+	drained   chan struct{}
+
+	mux *http.ServeMux
+}
+
+// New starts a serving Server: workers and watchdog are live on return.
+func New(cfg Config) *Server {
+	if cfg.QueueCapacity <= 0 {
+		cfg.QueueCapacity = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.StallAfter == 0 {
+		cfg.StallAfter = 30 * time.Second
+	}
+	if cfg.WatchdogInterval <= 0 {
+		cfg.WatchdogInterval = time.Second
+	}
+	if cfg.KillGrace <= 0 {
+		cfg.KillGrace = 2 * time.Second
+	}
+	if cfg.DrainGrace <= 0 {
+		cfg.DrainGrace = 30 * time.Second
+	}
+	if cfg.EstimatedJobTime <= 0 {
+		cfg.EstimatedJobTime = 2 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg:     cfg,
+		queue:   newJobQueue(cfg.QueueCapacity),
+		dog:     newWatchdog(cfg.WatchdogInterval, cfg.StallAfter),
+		breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		phase:   PhaseServing,
+		jobs:    make(map[string]*Job),
+		drained: make(chan struct{}),
+	}
+	s.routes()
+	s.workerWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// logf forwards to the configured logger.
+func (s *Server) logf(format string, args ...any) { s.cfg.Logf(format, args...) }
+
+// Phase returns the current lifecycle phase.
+func (s *Server) Phase() Phase {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.phase
+}
+
+// Submit validates and admits a job, returning it, or an admission error
+// (ErrQueueFull / ErrQueueClosed) the HTTP layer maps to 503.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("server: invalid job: %w", err)
+	}
+	s.mu.Lock()
+	if s.phase != PhaseServing {
+		s.mu.Unlock()
+		return nil, ErrQueueClosed
+	}
+	s.nextID++
+	id := fmt.Sprintf("j%06d", s.nextID)
+	j := newJob(id, spec)
+	s.jobs[id] = j
+	s.mu.Unlock()
+
+	if err := s.queue.push(j); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		return nil, err
+	}
+	return j, nil
+}
+
+// Job returns a submitted job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cancellation of a job. Queued jobs park immediately;
+// running jobs get their attempt context canceled and settle shortly.
+func (s *Server) Cancel(id string) (JobState, error) {
+	j, ok := s.Job(id)
+	if !ok {
+		return "", fmt.Errorf("server: unknown job %q", id)
+	}
+	j.mu.Lock()
+	switch {
+	case j.state.Terminal():
+		st := j.state
+		j.mu.Unlock()
+		return st, nil
+	case j.state == StateQueued:
+		// Parked; the worker skips terminal jobs on pop.
+		j.finishLocked(StateCanceled, nil, errCanceledByClient)
+		j.mu.Unlock()
+		return StateCanceled, nil
+	default:
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel(errCanceledByClient)
+		}
+		return StateRunning, nil
+	}
+}
+
+// retryAfter estimates (in whole seconds, at least 1) when a shed client
+// should come back: the queue backlog divided across the worker pool at
+// the configured per-job estimate.
+func (s *Server) retryAfter() int {
+	backlog := s.queue.depth() + s.dog.runningCount()
+	per := s.cfg.EstimatedJobTime.Seconds()
+	sec := math.Ceil(float64(backlog+1) * per / float64(s.cfg.Workers))
+	if sec < 1 {
+		sec = 1
+	}
+	return int(sec)
+}
+
+// Drain executes the graceful shutdown state machine:
+//
+//	serving → draining: admission stops (submissions and requeues shed;
+//	  /readyz flips to 503), queued jobs are canceled, and running
+//	  simulate jobs with a journal are interrupted so they checkpoint.
+//	draining: remaining in-flight jobs get up to DrainGrace to finish,
+//	  then are canceled.
+//	→ stopped: every worker has exited; /healthz reports "stopped".
+//
+// Drain is idempotent and returns once the server is stopped.
+func (s *Server) Drain() {
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
+		s.phase = PhaseDraining
+		s.mu.Unlock()
+		s.logf("drain: admission stopped")
+
+		// Shed the queue: those jobs never started, so there is nothing
+		// to checkpoint.
+		for _, j := range s.queue.close() {
+			j.finish(StateCanceled, nil, errDraining)
+		}
+
+		// Interrupt checkpointable in-flight jobs: their progress is
+		// durable, so the fastest correct exit is "journal and park".
+		// Everything else keeps running within the grace window.
+		running := s.runningJobs()
+		for _, j := range running {
+			if s.jobCheckpointPath(j) != "" {
+				j.mu.Lock()
+				cancel := j.cancel
+				j.mu.Unlock()
+				if cancel != nil {
+					cancel(errDraining)
+				}
+			}
+		}
+
+		workersDone := make(chan struct{})
+		go func() {
+			s.workerWG.Wait()
+			close(workersDone)
+		}()
+		select {
+		case <-workersDone:
+		case <-time.After(s.cfg.DrainGrace):
+			s.logf("drain: grace expired, canceling stragglers")
+			for _, j := range s.runningJobs() {
+				j.mu.Lock()
+				cancel := j.cancel
+				j.mu.Unlock()
+				if cancel != nil {
+					cancel(errDraining)
+				}
+			}
+			<-workersDone
+		}
+
+		s.dog.close()
+		s.mu.Lock()
+		s.phase = PhaseStopped
+		s.mu.Unlock()
+		s.logf("drain: stopped")
+		close(s.drained)
+	})
+	<-s.drained
+}
+
+// runningJobs snapshots jobs currently in StateRunning.
+func (s *Server) runningJobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Job
+	for _, j := range s.jobs {
+		if j.State() == StateRunning {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Health is the /healthz payload.
+type Health struct {
+	Phase      Phase        `json:"phase"`
+	QueueDepth int          `json:"queue_depth"`
+	Running    int          `json:"running"`
+	Breaker    BreakerState `json:"breaker"`
+	Jobs       int          `json:"jobs"`
+}
+
+// HealthSnapshot returns the current health view.
+func (s *Server) HealthSnapshot() Health {
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	phase := s.phase
+	s.mu.Unlock()
+	return Health{
+		Phase:      phase,
+		QueueDepth: s.queue.depth(),
+		Running:    s.dog.runningCount(),
+		Breaker:    s.breaker.State(),
+		Jobs:       jobs,
+	}
+}
+
+// routes builds the HTTP mux.
+func (s *Server) routes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux = mux
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON writes a JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// shed answers a rejected submission: 503 with a Retry-After hint, the
+// admission-control contract.
+func (s *Server) shed(w http.ResponseWriter, reason string) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": reason})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	body := http.MaxBytesReader(w, r.Body, 64<<20)
+	if err := json.NewDecoder(body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("decode job spec: %v", err)})
+		return
+	}
+	j, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		s.shed(w, "queue full")
+		return
+	case errors.Is(err, ErrQueueClosed):
+		s.shed(w, "draining")
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Snapshot())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job"})
+		return
+	}
+	st := j.Snapshot()
+	w.Header().Set("X-Job-State", string(st.State))
+	data, ok := j.Result()
+	if !ok {
+		writeJSON(w, http.StatusConflict, st)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.Cancel(id); err != nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+		return
+	}
+	j, _ := s.Job(id)
+	writeJSON(w, http.StatusAccepted, j.Snapshot())
+}
+
+// handleHealthz is liveness plus introspection: 200 while the process is
+// serving or draining (it is alive and can answer), with the full health
+// snapshot as the body; 503 once stopped.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.HealthSnapshot()
+	code := http.StatusOK
+	if h.Phase == PhaseStopped {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// handleReadyz is readiness: 200 only while admitting jobs, so load
+// balancers stop routing to a draining instance before it sheds.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Phase() == PhaseServing {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		return
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": string(s.Phase())})
+}

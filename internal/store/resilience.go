@@ -2,6 +2,7 @@ package store
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"dnastore/internal/channel"
@@ -52,25 +53,46 @@ func (r RetrieveReport) Summary() string {
 // within the bounded re-sequencing attempts. It carries the final erasure
 // report so callers can act on the partial outcome (e.g. name the lost
 // strands) instead of seeing an opaque decode failure.
+//
+// Cancellation is reported distinctly from exhaustion: when the retrieval
+// was told to stop (context canceled or deadline exceeded) Err wraps the
+// context error — errors.Is(err, context.Canceled) and Canceled() hold —
+// and Attempts counts only the sequencing attempts that actually ran,
+// which is 0 when the context was already dead on entry. An exhausted
+// retrieval instead carries the last decode failure with Attempts > 0.
 type PartialRecoveryError struct {
 	// Key is the unrecoverable object.
 	Key string
-	// Attempts is the number of sequencing attempts used.
+	// Attempts is the number of sequencing attempts that ran; 0 means the
+	// retrieval was canceled before sequencing anything.
 	Attempts int
-	// Report is the erasure report of the final attempt.
+	// Report is the erasure report of the final attempt (zero-valued when
+	// no attempt ran).
 	Report RetrieveReport
-	// Err is the last underlying failure.
+	// Err is the last underlying failure; for a canceled retrieval it
+	// wraps context.Canceled or context.DeadlineExceeded.
 	Err error
 }
 
 // Error implements error.
 func (e *PartialRecoveryError) Error() string {
+	if e.Attempts == 0 {
+		return fmt.Sprintf("store: %q retrieval stopped before any sequencing attempt: %v", e.Key, e.Err)
+	}
 	return fmt.Sprintf("store: %q unrecovered after %d attempts: %v (%s)",
 		e.Key, e.Attempts, e.Err, e.Report.Summary())
 }
 
 // Unwrap exposes the last underlying failure.
 func (e *PartialRecoveryError) Unwrap() error { return e.Err }
+
+// Canceled reports whether the retrieval was told to stop (context
+// canceled or deadline exceeded) rather than giving up on its own — the
+// distinction a job server needs to decide between "mark canceled" and
+// "mark failed".
+func (e *PartialRecoveryError) Canceled() bool {
+	return errors.Is(e.Err, context.Canceled) || errors.Is(e.Err, context.DeadlineExceeded)
+}
 
 // SequencerFactory builds the channel and coverage model for one sequencing
 // attempt of RetrieveAdaptive. scale is the cumulative coverage escalation
@@ -172,9 +194,8 @@ func (p *Pool) RetrieveAdaptive(ctx context.Context, key string, factory Sequenc
 		}
 		scale *= backoff
 	}
-	if attempts == 0 {
-		attempts = 1
-	}
+	// attempts stays 0 when the context was dead before the first
+	// sequencing pass: the caller learns "was told to stop", not "gave up".
 	return nil, lastRep, attempts, &PartialRecoveryError{Key: key, Attempts: attempts, Report: lastRep, Err: lastErr}
 }
 

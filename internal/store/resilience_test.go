@@ -238,12 +238,71 @@ func TestRetrieveAdaptiveCancellation(t *testing.T) {
 	factory := func(attempt int, scale float64) (channel.Channel, channel.CoverageModel) {
 		return cleanChannel(), channel.FixedCoverage(4)
 	}
-	_, _, _, err := p.RetrieveAdaptive(ctx, "doc", factory, RetryPolicy{}, 1)
+	_, _, attempts, err := p.RetrieveAdaptive(ctx, "doc", factory, RetryPolicy{}, 1)
 	if err == nil {
 		t.Fatal("canceled retrieve succeeded")
 	}
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	// "Was told to stop" must be distinguishable from "gave up": no attempt
+	// ran, and the structured error says so.
+	if attempts != 0 {
+		t.Errorf("attempts = %d, want 0 for pre-attempt cancellation", attempts)
+	}
+	var pre *PartialRecoveryError
+	if !errors.As(err, &pre) {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if pre.Attempts != 0 {
+		t.Errorf("PartialRecoveryError.Attempts = %d, want 0", pre.Attempts)
+	}
+	if !pre.Canceled() {
+		t.Error("PartialRecoveryError.Canceled() = false for a canceled retrieval")
+	}
+	if !strings.Contains(pre.Error(), "before any sequencing attempt") {
+		t.Errorf("cancellation error message: %v", pre)
+	}
+}
+
+// TestRetrieveAdaptiveDeadlineMidRun cancels between attempts and checks the
+// error still reports cancellation (not exhaustion) while counting the
+// attempts that did run.
+func TestRetrieveAdaptiveDeadlineMidRun(t *testing.T) {
+	p, _ := resiliencePool(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	factory := func(attempt int, scale float64) (channel.Channel, channel.CoverageModel) {
+		// A dead region fails every attempt; cancel after the first one so
+		// the loop exits on ctx.Err() at the top of attempt 2.
+		return cleanChannel(), faults.ZeroCoverageRegion{Base: channel.FixedCoverage(4), Start: 0, Len: 8}
+	}
+	pol := RetryPolicy{MaxAttempts: 5, OnAttempt: func(attempt int, rep RetrieveReport, err error) {
+		cancel()
+	}}
+	_, _, attempts, err := p.RetrieveAdaptive(ctx, "doc", factory, pol, 1)
+	if err == nil {
+		t.Fatal("canceled retrieve succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	var pre *PartialRecoveryError
+	if !errors.As(err, &pre) {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if !pre.Canceled() {
+		t.Error("Canceled() = false after mid-run cancellation")
+	}
+	if attempts != 1 || pre.Attempts != 1 {
+		t.Errorf("attempts = %d / %d, want 1: only one attempt ran", attempts, pre.Attempts)
+	}
+	// Exhaustion, by contrast, must not read as cancellation.
+	_, _, _, err = p.RetrieveAdaptive(context.Background(), "doc", factory, RetryPolicy{MaxAttempts: 2}, 1)
+	if !errors.As(err, &pre) {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if pre.Canceled() {
+		t.Error("Canceled() = true for an exhausted (not canceled) retrieval")
 	}
 }
 
