@@ -14,10 +14,11 @@ verify: build test verify-race chaos-smoke fuzz-smoke
 
 # Race-detector pass over the concurrent packages: the simulator worker
 # pool and checkpointing (internal/channel), the adaptive retrieve path
-# (internal/store), and the journal (internal/durable).
+# (internal/store), the journal (internal/durable), and the metrics
+# registry / stage timer (internal/obs).
 verify-race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/channel/... ./internal/store/... ./internal/durable/...
+	$(GO) test -race ./internal/channel/... ./internal/store/... ./internal/durable/... ./internal/obs/...
 
 # Chaos smoke: the dnasimd job-server drills — injected panics, stalls,
 # overload shedding, breaker trips and the drain/resume cycle — under the
@@ -35,5 +36,9 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadFASTQ -fuzztime=10s ./internal/seqio/
 	$(GO) test -run='^$$' -fuzz=FuzzParseSpec -fuzztime=10s ./internal/faults/
 
+# Benchmarks: one pass over the Go benchmarks (smoke, 1 iteration each)
+# plus the machine-readable simulate hot-path measurement CI archives as an
+# artifact.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+	$(GO) run ./cmd/dnabench -json BENCH_sim.json

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dnastore/internal/channel"
+)
+
+// The -json benchmark mode: a machine-readable measurement of the simulate
+// hot path — channel.Simulator.Simulate over a fixed synthetic workload —
+// written as one JSON document so CI can archive BENCH_sim.json per commit
+// and diff throughput across history. testing.Benchmark gives the same
+// adaptive iteration count and allocation accounting as `go test -bench`
+// without needing the test harness.
+
+// benchResult is the BENCH_sim.json schema. Field names are stable: CI
+// artifacts are compared across commits.
+type benchResult struct {
+	// Name identifies the measured path.
+	Name string `json:"name"`
+	// Clusters, RefLen and Coverage pin the workload shape.
+	Clusters int `json:"clusters"`
+	RefLen   int `json:"ref_len"`
+	Coverage int `json:"coverage"`
+	// Iterations is the adaptive b.N testing.Benchmark settled on.
+	Iterations int `json:"iterations"`
+	// NsPerOp is wall time per full simulation (all clusters).
+	NsPerOp int64 `json:"ns_per_op"`
+	// ClustersPerSec is the simulate throughput CI tracks.
+	ClustersPerSec float64 `json:"clusters_per_sec"`
+	// AllocsPerOp and BytesPerOp track allocation behaviour.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// GoVersion and GOMAXPROCS contextualise cross-machine numbers.
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// runJSONBench measures the simulate hot path and writes BENCH_sim.json to
+// path.
+func runJSONBench(path string, seed uint64) error {
+	const (
+		clusters = 200
+		refLen   = 110
+		coverage = 8
+	)
+	refs := channel.RandomReferences(clusters, refLen, seed)
+	sim := channel.Simulator{
+		Channel:  channel.NewNaive("bench", channel.Rates{Sub: 0.01, Ins: 0.005, Del: 0.02}),
+		Coverage: channel.FixedCoverage(coverage),
+	}
+	// Warm once outside the measurement so one-time setup (page faults,
+	// lazy tables) doesn't pollute the first iteration.
+	sim.Simulate("bench", refs, seed)
+
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sim.Simulate("bench", refs, seed)
+		}
+	})
+	if res.N == 0 {
+		return fmt.Errorf("benchmark did not run")
+	}
+
+	out := benchResult{
+		Name:           "channel.simulate",
+		Clusters:       clusters,
+		RefLen:         refLen,
+		Coverage:       coverage,
+		Iterations:     res.N,
+		NsPerOp:        res.NsPerOp(),
+		ClustersPerSec: float64(clusters) / (time.Duration(res.NsPerOp()) * time.Nanosecond).Seconds(),
+		AllocsPerOp:    res.AllocsPerOp(),
+		BytesPerOp:     res.AllocedBytesPerOp(),
+		GoVersion:      runtime.Version(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dnabench: %s: %d iterations, %.0f clusters/s, %d allocs/op -> %s\n",
+		out.Name, out.Iterations, out.ClustersPerSec, out.AllocsPerOp, path)
+	return nil
+}

@@ -10,6 +10,7 @@
 //	dnabench -exp table3.1   # one experiment
 //	dnabench -list           # list experiment IDs
 //	dnabench -csv out/       # also write CSV files
+//	dnabench -json BENCH_sim.json   # benchmark the simulate hot path, write JSON
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"dnastore/internal/experiments"
+	"dnastore/internal/obs"
 )
 
 func main() {
@@ -34,8 +36,18 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 		csvDir   = flag.String("csv", "", "directory to write CSV outputs into")
 		svgDir   = flag.String("svg", "", "directory to write SVG figures into")
+		jsonOut  = flag.String("json", "", "benchmark the simulate hot path and write machine-readable results to this path, then exit")
+		logOpts  = obs.LogFlags(flag.CommandLine)
 	)
 	flag.Parse()
+	logger := logOpts.Logger("dnabench")
+
+	if *jsonOut != "" {
+		if err := runJSONBench(*jsonOut, *seed); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.Registry() {
@@ -127,6 +139,8 @@ func main() {
 			}
 		}
 		fmt.Fprintf(os.Stderr, "%s done in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
+		logger.Debug("experiment done", "id", e.ID, "results", len(results),
+			"elapsed", time.Since(start).Round(time.Millisecond))
 	}
 }
 

@@ -15,10 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"dnastore/internal/cluster"
 	"dnastore/internal/dataset"
 	"dnastore/internal/dna"
+	"dnastore/internal/obs"
 	"dnastore/internal/rng"
 )
 
@@ -32,8 +34,10 @@ func main() {
 		threshold = flag.Int("threshold", 0, "edit-distance join threshold (0 = len/4)")
 		maxDist   = flag.Int("max-ref-dist", 40, "max edit distance when assigning clusters to references")
 		seed      = flag.Uint64("seed", 1, "shuffle seed")
+		logOpts   = obs.LogFlags(flag.CommandLine)
 	)
 	flag.Parse()
+	logger := logOpts.Logger("dnacluster")
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "dnacluster: -in is required")
 		flag.Usage()
@@ -68,7 +72,10 @@ func main() {
 			pool[i], pool[j] = pool[j], pool[i]
 			labels[i], labels[j] = labels[j], labels[i]
 		})
+		start := time.Now()
 		idx := cluster.GreedyIndices(pool, cfg)
+		logger.Debug("clustered", "reads", len(pool), "clusters", len(idx),
+			"elapsed", time.Since(start).Round(time.Millisecond))
 		purity, err := cluster.Purity(idx, labels)
 		if err != nil {
 			fail(err)
@@ -105,7 +112,10 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fail(err)
 	}
+	start := time.Now()
 	groups := cluster.Greedy(pool, cfg)
+	logger.Debug("clustered", "reads", len(pool), "clusters", len(groups),
+		"elapsed", time.Since(start).Round(time.Millisecond))
 	fmt.Fprintf(os.Stderr, "clustered %d reads into %d clusters\n", len(pool), len(groups))
 	bw := bufio.NewWriter(w)
 	for i, members := range groups {

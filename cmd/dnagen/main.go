@@ -11,7 +11,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"dnastore/internal/obs"
 	"dnastore/internal/seqio"
 	"dnastore/internal/wetlab"
 )
@@ -28,13 +30,19 @@ func main() {
 	seed := flag.Uint64("seed", cfg.Seed, "random seed")
 	format := flag.String("format", "clusters", "output format: clusters (text), fastq (refs FASTA + reads FASTQ)")
 	flag.StringVar(&out, "o", "-", "output file (- for stdout); with -format fastq, the base name for <out>.fasta/<out>.fastq")
+	logOpts := obs.LogFlags(flag.CommandLine)
 	flag.Parse()
 	cfg.Seed = *seed
+	logger := logOpts.Logger("dnagen")
 
+	start := time.Now()
 	ds, err := wetlab.Generate(cfg)
 	if err != nil {
 		fail(err)
 	}
+	logger.Debug("dataset generated", "clusters", cfg.NumClusters, "len", cfg.StrandLen,
+		"coverage", cfg.MeanCoverage, "error_rate", cfg.ErrorRate, "seed", cfg.Seed,
+		"elapsed", time.Since(start).Round(time.Millisecond))
 	switch *format {
 	case "clusters":
 		w := os.Stdout

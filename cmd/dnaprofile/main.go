@@ -12,10 +12,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"dnastore/internal/channel"
 	"dnastore/internal/dataset"
 	"dnastore/internal/dna"
+	"dnastore/internal/obs"
 	"dnastore/internal/profile"
 )
 
@@ -27,8 +29,10 @@ func main() {
 		randomize = flag.Bool("randomize", false, "use randomized edit-script tie-breaks (paper Appendix B)")
 		seed      = flag.Uint64("seed", 1, "seed for randomized tie-breaks")
 		jsonOut   = flag.String("json", "", "write the full profile as JSON to this path")
+		logOpts   = obs.LogFlags(flag.CommandLine)
 	)
 	flag.Parse()
+	logger := logOpts.Logger("dnaprofile")
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "dnaprofile: -in is required")
 		flag.Usage()
@@ -43,10 +47,13 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	start := time.Now()
 	p, err := profile.Profile(ds, profile.Options{RandomizeScripts: *randomize, Seed: *seed})
 	if err != nil {
 		fail(err)
 	}
+	logger.Debug("profile extracted", "clusters", len(ds.Clusters),
+		"elapsed", time.Since(start).Round(time.Millisecond))
 
 	if *jsonOut != "" {
 		// Atomic, checksummed, parity-protected container: a calibration

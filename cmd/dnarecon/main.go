@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 
 	"dnastore/internal/dataset"
 	"dnastore/internal/metrics"
+	"dnastore/internal/obs"
 	"dnastore/internal/recon"
 	"dnastore/internal/rng"
 )
@@ -31,8 +33,10 @@ func main() {
 		census      = flag.Bool("census", false, "print residual error-type census")
 		outPath     = flag.String("out", "", "write the first algorithm's reconstructed strands (one per line) to this file")
 		seed        = flag.Uint64("seed", 1, "shuffle seed for the subsampling protocol")
+		logOpts     = obs.LogFlags(flag.CommandLine)
 	)
 	flag.Parse()
+	logger := logOpts.Logger("dnarecon")
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "dnarecon: -in is required")
 		flag.Usage()
@@ -63,13 +67,15 @@ func main() {
 		}
 	}
 
+	stages := obs.NewStageTimer()
+	ctx := obs.WithTimer(context.Background(), stages)
 	for algIdx, name := range strings.Split(*algNames, ",") {
 		name = strings.TrimSpace(name)
 		alg, ok := recon.ByName(name)
 		if !ok {
 			fail(fmt.Errorf("unknown algorithm %q", name))
 		}
-		out := recon.ReconstructDataset(alg, ds)
+		out := recon.ReconstructDatasetCtx(ctx, alg, ds)
 		if *outPath != "" && algIdx == 0 {
 			f, err := os.Create(*outPath)
 			if err != nil {
@@ -98,6 +104,11 @@ func main() {
 				fmt.Printf("%d,%g,%g\n", i, hr[i], gr[i])
 			}
 		}
+	}
+	// Per-algorithm wall time and cluster throughput ("recon.<alg> 1.2s
+	// (10000 items, 8333.3/s)"), collected by the stage timer on the context.
+	if summary := stages.Summary(); summary != "" {
+		logger.Debug("stage timings", "stages", summary)
 	}
 }
 

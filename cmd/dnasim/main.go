@@ -28,6 +28,7 @@ import (
 	"dnastore/internal/dna"
 	"dnastore/internal/durable"
 	"dnastore/internal/faults"
+	"dnastore/internal/obs"
 	"dnastore/internal/profile"
 )
 
@@ -49,8 +50,10 @@ func main() {
 		ckptPath   = flag.String("checkpoint", "", "journal completed clusters to this file; rerunning resumes instead of restarting")
 		crashAfter = flag.Int("crash-after", 0, "crash drill: kill the process after N checkpoint commits (requires -checkpoint)")
 		timeout    = flag.Duration("timeout", 0, "abort the run after this long; the partial dataset is still written (0 = unbounded)")
+		logOpts    = obs.LogFlags(flag.CommandLine)
 	)
 	flag.Parse()
+	logger := logOpts.Logger("dnasim")
 	if *refsPath == "" {
 		fmt.Fprintln(os.Stderr, "dnasim: -refs is required")
 		flag.Usage()
@@ -117,6 +120,8 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	stages := obs.NewStageTimer()
+	ctx = obs.WithTimer(ctx, stages)
 
 	sim := channel.Simulator{Channel: ch, Coverage: cov}
 	var (
@@ -173,6 +178,9 @@ func main() {
 	}
 	fmt.Fprintln(os.Stderr, sim.Describe())
 	fmt.Fprintln(os.Stderr, ds.ComputeStats())
+	if summary := stages.Summary(); summary != "" {
+		logger.Debug("stage timings", "stages", summary)
+	}
 	if simErr != nil {
 		var se *channel.SimulationError
 		if errors.As(simErr, &se) {

@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"dnastore/internal/obs"
 	"dnastore/internal/server"
 )
 
@@ -44,6 +45,8 @@ func main() {
 		jobTimeout  = flag.Duration("job-timeout", 0, "default per-job deadline for jobs that set none (0 = unbounded)")
 		brkFails    = flag.Int("breaker-failures", 5, "consecutive I/O failures that trip the circuit breaker")
 		brkCooldown = flag.Duration("breaker-cooldown", 10*time.Second, "open-breaker cooldown before a half-open probe")
+		pprof       = flag.Bool("pprof", false, "mount /debug/pprof/* profiling endpoints (off by default: they expose internals)")
+		logOpts     = obs.LogFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -53,6 +56,7 @@ func main() {
 		}
 	}
 	logger := log.New(os.Stderr, "dnasimd: ", log.LstdFlags)
+	slogger := logOpts.Logger("dnasimd")
 	srv := server.New(server.Config{
 		QueueCapacity:     *queueCap,
 		Workers:           *workers,
@@ -64,9 +68,22 @@ func main() {
 		BreakerThreshold:  *brkFails,
 		BreakerCooldown:   *brkCooldown,
 		Logf:              logger.Printf,
+		Logger:            slogger,
 	})
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	// The server handles everything (including /metrics); pprof, when
+	// enabled, mounts on an outer mux so the server package never links
+	// net/http/pprof into embedders that don't want it.
+	handler := http.Handler(srv)
+	if *pprof {
+		outer := http.NewServeMux()
+		obs.RegisterPprof(outer)
+		outer.Handle("/", srv)
+		handler = outer
+		slogger.Info("pprof endpoints enabled", "path", "/debug/pprof/")
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() {
 		logger.Printf("listening on %s (queue=%d workers=%d data=%q)", *addr, *queueCap, *workers, *dataDir)

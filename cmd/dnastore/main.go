@@ -30,6 +30,7 @@ import (
 	"dnastore/internal/dist"
 	"dnastore/internal/durable"
 	"dnastore/internal/faults"
+	"dnastore/internal/obs"
 	"dnastore/internal/store"
 )
 
@@ -101,10 +102,12 @@ func cmdPut(args []string) error {
 	key := fs.String("key", "", "object key (required)")
 	file := fs.String("file", "", "file to store (required)")
 	seed := fs.Uint64("seed", 7, "primer seed for a new pool")
+	logOpts := obs.LogFlags(fs)
 	fs.Parse(args)
 	if *key == "" || *file == "" {
 		return fmt.Errorf("put needs -key and -file")
 	}
+	logger := logOpts.Logger("dnastore")
 	p, err := loadOrNewPool(*pool, *seed)
 	if err != nil {
 		return err
@@ -119,6 +122,8 @@ func cmdPut(args []string) error {
 	if err := p.SaveFile(*pool); err != nil {
 		return err
 	}
+	logger.Debug("object stored", "key", *key, "bytes", len(data),
+		"objects", len(p.Keys()), "strands", p.NumStrands())
 	fmt.Fprintf(os.Stderr, "stored %q (%d bytes) — pool now holds %d objects in %d strands\n",
 		*key, len(data), len(p.Keys()), p.NumStrands())
 	return nil
@@ -152,10 +157,12 @@ func cmdGet(args []string) error {
 	retries := fs.Int("retries", 2, "re-sequencing attempts after a failed decode")
 	backoff := fs.Float64("backoff", 2.0, "coverage escalation factor per retry")
 	timeout := fs.Duration("timeout", 0, "give up on the retrieval after this long (0 = unbounded)")
+	logOpts := obs.LogFlags(fs)
 	fs.Parse(args)
 	if *key == "" || *out == "" {
 		return fmt.Errorf("get needs -key and -o")
 	}
+	logger := logOpts.Logger("dnastore")
 	spec, err := faults.ParseSpec(*faultSpec)
 	if err != nil {
 		return err
@@ -171,6 +178,13 @@ func cmdGet(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	stages := obs.NewStageTimer()
+	ctx = obs.WithTimer(ctx, stages)
+	defer func() {
+		if summary := stages.Summary(); summary != "" {
+			logger.Debug("stage timings", "stages", summary)
+		}
+	}()
 
 	factory := func(attempt int, scale float64) (channel.Channel, channel.CoverageModel) {
 		m := channel.NewNaive("sequencer", channel.NanoporeMix(*errRate))
@@ -224,10 +238,12 @@ func cmdGet(args []string) error {
 func cmdScrub(args []string) error {
 	fs := flag.NewFlagSet("scrub", flag.ExitOnError)
 	repair := fs.Bool("repair", false, "rewrite files whose damage is within the parity budget")
+	logOpts := obs.LogFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		return fmt.Errorf("scrub needs at least one file or directory")
 	}
+	logger := logOpts.Logger("dnastore")
 	var paths []string
 	for _, root := range fs.Args() {
 		info, err := os.Stat(root)
@@ -280,6 +296,7 @@ func cmdScrub(args []string) error {
 			unhealthy++
 		}
 	}
+	logger.Debug("scrub complete", "files", len(paths), "damaged", unhealthy, "repair", *repair)
 	if unhealthy > 0 {
 		return fmt.Errorf("scrub: %d of %d files damaged", unhealthy, len(paths))
 	}

@@ -10,6 +10,7 @@ import (
 
 	"dnastore/internal/dataset"
 	"dnastore/internal/dna"
+	"dnastore/internal/obs"
 	"dnastore/internal/rng"
 )
 
@@ -171,6 +172,11 @@ func (s Simulator) simulateWith(ctx context.Context, name string, refs []dna.Str
 		clusterErrs []ClusterError
 		completed   atomic.Int64
 	)
+	// Stage accounting: total simulation wall time and clusters completed,
+	// reported to whatever timer rides the context (nil-safe no-op
+	// otherwise). Items are read at stop time, after the workers join.
+	stop := obs.TimerFrom(ctx).Start("channel.simulate")
+	defer func() { stop(int(completed.Load())) }()
 	progress := progressFrom(ctx)
 	total := len(refs)
 	advance := func() {

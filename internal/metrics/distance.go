@@ -95,8 +95,27 @@ func ReadLengthHistogram(ds *dataset.Dataset) map[int]int {
 
 // LengthHistogramDistance returns the χ² distance between the read-length
 // distributions of two datasets, after normalising each to sum 1.
+//
+// Datasets with zero reads get defined results instead of the ambiguous
+// values a blind 0/0 normalisation path would produce: two empty datasets
+// are identical (distance 0), and an empty dataset against a non-empty one
+// is maximally distant (1, the χ² supremum for distributions with disjoint
+// support). The result is never NaN.
 func LengthHistogramDistance(a, b *dataset.Dataset) float64 {
 	ha, hb := ReadLengthHistogram(a), ReadLengthHistogram(b)
+	na, nb := 0, 0
+	for _, c := range ha {
+		na += c
+	}
+	for _, c := range hb {
+		nb += c
+	}
+	switch {
+	case na == 0 && nb == 0:
+		return 0
+	case na == 0 || nb == 0:
+		return 1
+	}
 	maxLen := 0
 	for l := range ha {
 		if l > maxLen {

@@ -122,3 +122,56 @@ func TestKLDivergence(t *testing.T) {
 		t.Errorf("smoothed KL = %v", d)
 	}
 }
+
+// emptyDS builds a dataset whose clusters have references but zero reads —
+// the shape a total-dropout fault or an unsequenced pool produces.
+func emptyDS(n int) *dataset.Dataset {
+	refs := channel.RandomReferences(n, 110, 7)
+	ds := &dataset.Dataset{Name: "empty", Clusters: make([]dataset.Cluster, n)}
+	for i := range ds.Clusters {
+		ds.Clusters[i].Ref = refs[i]
+	}
+	return ds
+}
+
+// TestLengthHistogramDistanceEmptyDatasets is the regression test for the
+// zero-read normalisation bug: a dataset with no reads must yield defined,
+// non-NaN distances — 0 against another empty dataset, the maximal 1
+// against a populated one.
+func TestLengthHistogramDistanceEmptyDatasets(t *testing.T) {
+	empty1, empty2 := emptyDS(10), emptyDS(5)
+	full := simDS(0.05, 1)
+
+	if d := LengthHistogramDistance(empty1, empty2); d != 0 {
+		t.Errorf("empty vs empty = %v, want 0", d)
+	}
+	for name, d := range map[string]float64{
+		"empty vs full": LengthHistogramDistance(empty1, full),
+		"full vs empty": LengthHistogramDistance(full, empty1),
+	} {
+		if math.IsNaN(d) {
+			t.Errorf("%s = NaN", name)
+		}
+		if d != 1 {
+			t.Errorf("%s = %v, want maximal distance 1", name, d)
+		}
+	}
+	// Sanity: the defined maximum dominates every real-vs-real distance.
+	if d := LengthHistogramDistance(full, simDS(0.30, 9)); math.IsNaN(d) || d >= 1 {
+		t.Errorf("real-vs-real distance = %v, want < 1 and not NaN", d)
+	}
+}
+
+// TestNormalizeAllZero pins that an all-zero vector normalises to zeros
+// (not NaNs) and that χ² over two such vectors is 0.
+func TestNormalizeAllZero(t *testing.T) {
+	z := Normalize([]float64{0, 0, 0})
+	for i, v := range z {
+		if v != 0 || math.IsNaN(v) {
+			t.Errorf("Normalize zero vector [%d] = %v", i, v)
+		}
+	}
+	if d := ChiSquare(z, z); d != 0 || math.IsNaN(d) {
+		t.Errorf("ChiSquare(zeros, zeros) = %v, want 0", d)
+	}
+}

@@ -204,8 +204,10 @@ func ChiSquare(a, b []float64) float64 {
 	return sum / 2
 }
 
-// Normalize scales a histogram to sum to 1; an all-zero histogram is
-// returned unchanged.
+// Normalize scales a histogram to sum to 1. An all-zero histogram yields
+// an all-zero result rather than the NaNs a naive 0/0 division would
+// produce; callers comparing such a vector against a real distribution
+// must decide the distance themselves (see LengthHistogramDistance).
 func Normalize(h []float64) []float64 {
 	total := 0.0
 	for _, v := range h {

@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// HTTP glue: the /metrics handler for a registry and the opt-in pprof
+// mounting. Binaries decide which mux gets which — the job server mounts
+// /metrics inside its own mux (so chaos drills can scrape it through the
+// normal handler), while /debug/pprof/* stays an explicit operator opt-in
+// because profiles expose internals and cost CPU while running.
+
+// Handler serves the registry in the Prometheus text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// RegisterPprof mounts the net/http/pprof handlers under /debug/pprof/ on
+// mux, without touching http.DefaultServeMux.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

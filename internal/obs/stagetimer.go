@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The stage timer: per-stage wall-time and throughput accounting carried
+// through a context, the same pattern as channel.WithProgress. Layers that
+// do timed work (channel simulation, pool sequencing, decode, trace
+// reconstruction) call
+//
+//	defer obs.TimerFrom(ctx).Start("channel.simulate")(len(refs))
+//
+// and callers several layers up (a CLI printing a stage summary, the job
+// server feeding stage histograms) attach a timer with WithTimer and read
+// it back afterwards. A nil *StageTimer is a valid no-op receiver, so call
+// sites never need to check whether anyone is listening.
+
+// StageTiming is the accumulated account of one named stage.
+type StageTiming struct {
+	// Stage names the instrumented region, dotted by layer:
+	// "channel.simulate", "store.sequence", "recon.iterative".
+	Stage string
+	// Wall is the total wall time spent in the stage.
+	Wall time.Duration
+	// Items counts the work units processed (clusters, reads, strands);
+	// 0 when the stage has no natural unit.
+	Items int
+	// Calls counts how many times the stage ran.
+	Calls int
+}
+
+// PerSecond returns the stage throughput in items per second (0 when no
+// time or items were recorded).
+func (t StageTiming) PerSecond() float64 {
+	if t.Wall <= 0 || t.Items <= 0 {
+		return 0
+	}
+	return float64(t.Items) / t.Wall.Seconds()
+}
+
+// String renders one stage account for logs.
+func (t StageTiming) String() string {
+	if t.Items > 0 {
+		return fmt.Sprintf("%s %v (%d items, %.1f/s)", t.Stage, t.Wall.Round(time.Microsecond), t.Items, t.PerSecond())
+	}
+	return fmt.Sprintf("%s %v", t.Stage, t.Wall.Round(time.Microsecond))
+}
+
+// StageTimer accumulates StageTimings by stage name. Safe for concurrent
+// use; a nil *StageTimer ignores all recordings.
+type StageTimer struct {
+	mu     sync.Mutex
+	stages map[string]*StageTiming
+}
+
+// NewStageTimer returns an empty timer.
+func NewStageTimer() *StageTimer {
+	return &StageTimer{stages: make(map[string]*StageTiming)}
+}
+
+// Record adds one completed run of a stage.
+func (t *StageTimer) Record(stage string, wall time.Duration, items int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.stages[stage]
+	if !ok {
+		st = &StageTiming{Stage: stage}
+		t.stages[stage] = st
+	}
+	st.Wall += wall
+	st.Items += items
+	st.Calls++
+}
+
+// Start begins timing a stage and returns the stop function; calling it
+// with the number of items processed records the elapsed wall time.
+// Usable as a one-liner: defer timer.Start("stage")(n) evaluates
+// Start immediately and records at defer time.
+func (t *StageTimer) Start(stage string) func(items int) {
+	if t == nil {
+		return func(int) {}
+	}
+	begin := time.Now()
+	return func(items int) { t.Record(stage, time.Since(begin), items) }
+}
+
+// Snapshot returns the accumulated stage accounts sorted by stage name.
+func (t *StageTimer) Snapshot() []StageTiming {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]StageTiming, 0, len(t.stages))
+	for _, st := range t.stages {
+		out = append(out, *st)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
+	return out
+}
+
+// Summary renders every stage account on one line, "" when nothing was
+// recorded.
+func (t *StageTimer) Summary() string {
+	snap := t.Snapshot()
+	if len(snap) == 0 {
+		return ""
+	}
+	parts := make([]string, len(snap))
+	for i, st := range snap {
+		parts[i] = st.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// timerKey carries a *StageTimer through a context.
+type timerKey struct{}
+
+// WithTimer returns a context under which instrumented stages record into
+// t.
+func WithTimer(ctx context.Context, t *StageTimer) context.Context {
+	return context.WithValue(ctx, timerKey{}, t)
+}
+
+// TimerFrom extracts the stage timer, nil (a valid no-op receiver) when
+// absent.
+func TimerFrom(ctx context.Context) *StageTimer {
+	t, _ := ctx.Value(timerKey{}).(*StageTimer)
+	return t
+}

@@ -10,11 +10,13 @@
 package recon
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
 	"dnastore/internal/dataset"
 	"dnastore/internal/dna"
+	"dnastore/internal/obs"
 )
 
 // Reconstructor estimates a reference strand from its cluster of noisy
@@ -33,6 +35,16 @@ type Reconstructor interface {
 // taken from each cluster's reference strand (known to the storage system
 // by design, never read from the noisy copies).
 func ReconstructDataset(rec Reconstructor, ds *dataset.Dataset) []dna.Strand {
+	return ReconstructDatasetCtx(context.Background(), rec, ds)
+}
+
+// ReconstructDatasetCtx is ReconstructDataset under a context, recording
+// total wall time and cluster throughput to any stage timer the context
+// carries (series "recon.<algorithm>"). The context is observability
+// plumbing only: reconstruction is CPU-bound over in-memory clusters, so
+// cancellation is not checked mid-run.
+func ReconstructDatasetCtx(ctx context.Context, rec Reconstructor, ds *dataset.Dataset) []dna.Strand {
+	defer obs.TimerFrom(ctx).Start("recon." + rec.Name())(len(ds.Clusters))
 	out := make([]dna.Strand, len(ds.Clusters))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(ds.Clusters) {

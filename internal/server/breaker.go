@@ -44,6 +44,10 @@ type Breaker struct {
 	threshold int
 	cooldown  time.Duration
 	now       func() time.Time // injectable clock for tests
+	// onTransition, when set, observes every state change (metrics and
+	// logging). Called with b.mu held: implementations must not call back
+	// into the breaker.
+	onTransition func(from, to BreakerState)
 }
 
 // NewBreaker returns a closed breaker tripping after threshold consecutive
@@ -85,7 +89,7 @@ func (b *Breaker) allow() error {
 		}
 		// Cooldown elapsed: become half-open and admit this call as the
 		// probe.
-		b.state = BreakerHalfOpen
+		b.setState(BreakerHalfOpen)
 		b.probing = true
 		return nil
 	case BreakerHalfOpen:
@@ -105,7 +109,7 @@ func (b *Breaker) record(err error) {
 	defer b.mu.Unlock()
 	if err == nil {
 		// Success closes the breaker from any state.
-		b.state = BreakerClosed
+		b.setState(BreakerClosed)
 		b.failures = 0
 		b.probing = false
 		return
@@ -124,9 +128,22 @@ func (b *Breaker) record(err error) {
 	}
 }
 
+// setState changes the state and fires the transition hook on an actual
+// change. Callers hold b.mu.
+func (b *Breaker) setState(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
+}
+
 // trip opens the breaker. Callers hold b.mu.
 func (b *Breaker) trip() {
-	b.state = BreakerOpen
+	b.setState(BreakerOpen)
 	b.openedAt = b.now()
 	b.failures = 0
 	b.probing = false

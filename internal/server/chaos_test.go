@@ -2,10 +2,12 @@ package server
 
 import (
 	"bytes"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -23,6 +25,39 @@ import (
 // cluster panics, overload, pool-file rot, a drain mid-simulation — and
 // asserts both that the server survives and that the output of every job
 // that completes is byte-identical to an undisturbed sequential run.
+
+// scrapeMetric fetches GET /metrics through the server's own HTTP handler
+// and returns the value of one series — the same path an operator's
+// Prometheus scrape takes, so the drills verify the exposition end to end.
+func scrapeMetric(t *testing.T, ts *httptest.Server, series string) float64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content-type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("series %s has unparseable value %q", series, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s not found in /metrics:\n%s", series, body)
+	return 0
+}
 
 // TestChaosFlakyPanicRetriesConverge: the first few Transmit calls panic.
 // SimulateCtx confines each panic to its cluster, the supervisor retries
@@ -90,8 +125,19 @@ func TestChaosOverloadShedsWithRetryAfter(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("overflow submit = %d, want 503", resp.StatusCode)
 	}
-	if ra := resp.Header.Get("Retry-After"); ra == "" {
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
 		t.Error("shed response missing Retry-After")
+	} else if sec, err := strconv.Atoi(ra); err != nil || sec < 1 {
+		t.Errorf("Retry-After = %q, want integer >= 1 (err=%v)", ra, err)
+	}
+
+	// The shed is visible on /metrics, scraped through the same handler.
+	if got := scrapeMetric(t, ts, `dnasimd_jobs_shed_total{reason="queue_full"}`); got != 1 {
+		t.Errorf(`shed counter = %v, want 1 (one overflow submission)`, got)
+	}
+	if got := scrapeMetric(t, ts, "dnasimd_jobs_submitted_total"); got != 3 {
+		t.Errorf("submitted counter = %v, want 3", got)
 	}
 
 	// Every admitted job completes despite the overload...
@@ -105,6 +151,9 @@ func TestChaosOverloadShedsWithRetryAfter(t *testing.T) {
 	got, _ := running.Result()
 	if want := sequentialResult(t, simSpec(31).Simulate); !bytes.Equal(got, want) {
 		t.Error("overloaded job output differs from sequential run")
+	}
+	if done := scrapeMetric(t, ts, `dnasimd_jobs_finished_total{outcome="done"}`); done != 3 {
+		t.Errorf("finished{done} = %v, want 3", done)
 	}
 }
 
@@ -183,6 +232,20 @@ func TestChaosBreakerTripsAndRecovers(t *testing.T) {
 	}
 	if bst := s.breaker.State(); bst != BreakerClosed {
 		t.Errorf("breaker = %v after successful probe, want closed", bst)
+	}
+
+	// The drill's exact transition history is on the metric surface: one
+	// trip, one half-open probe admission, one close on probe success.
+	snap := s.Registry().Snapshot()
+	for series, want := range map[string]float64{
+		`dnasimd_breaker_transitions_total{to="open"}`:      1,
+		`dnasimd_breaker_transitions_total{to="half-open"}`: 1,
+		`dnasimd_breaker_transitions_total{to="closed"}`:    1,
+		"dnasimd_breaker_open":                              0,
+	} {
+		if got := snap[series]; got != want {
+			t.Errorf("%s = %v, want %v", series, got, want)
+		}
 	}
 }
 

@@ -262,6 +262,8 @@ type Job struct {
 	ID string
 	// Spec is the validated submission.
 	Spec JobSpec
+	// created stamps admission; job latency metrics measure from here.
+	created time.Time
 
 	mu       sync.Mutex
 	state    JobState
@@ -286,7 +288,7 @@ type Job struct {
 
 // newJob returns a queued job.
 func newJob(id string, spec JobSpec) *Job {
-	j := &Job{ID: id, Spec: spec, state: StateQueued, done: make(chan struct{})}
+	j := &Job{ID: id, Spec: spec, created: time.Now(), state: StateQueued, done: make(chan struct{})}
 	j.touch()
 	return j
 }
@@ -317,6 +319,13 @@ func (j *Job) State() JobState {
 	return j.state
 }
 
+// Attempts returns how many execution attempts have started.
+func (j *Job) Attempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
+}
+
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
@@ -330,23 +339,27 @@ func (j *Job) Result() ([]byte, bool) {
 	return j.result, true
 }
 
-// finish moves the job to a terminal state exactly once.
-func (j *Job) finish(state JobState, result []byte, err error) {
+// finish moves the job to a terminal state exactly once; it reports
+// whether this call performed the transition (false when the job was
+// already terminal), so callers can attach one-shot side effects such as
+// metrics without double counting.
+func (j *Job) finish(state JobState, result []byte, err error) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	j.finishLocked(state, result, err)
+	return j.finishLocked(state, result, err)
 }
 
 // finishLocked is finish for callers already holding j.mu.
-func (j *Job) finishLocked(state JobState, result []byte, err error) {
+func (j *Job) finishLocked(state JobState, result []byte, err error) bool {
 	if j.state.Terminal() {
-		return
+		return false
 	}
 	j.state = state
 	j.result = result
 	j.err = err
 	j.cancel = nil
 	close(j.done)
+	return true
 }
 
 // Status is the JSON snapshot the HTTP API serves.

@@ -80,6 +80,7 @@ func (q *jobQueue) pop() *Job {
 		return nil
 	}
 	j := q.items[0]
+	q.items[0] = nil // release the popped slot: the backing array outlives the job
 	q.items = q.items[1:]
 	return j
 }

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestQueueCloseRequeueHammer hammers push/requeue/pop/close concurrently
+// and checks the admission invariant: every job the queue admitted (push or
+// requeue returned nil) is either handed to a consumer by pop or returned
+// by close — never silently dropped. Run with -race.
+func TestQueueCloseRequeueHammer(t *testing.T) {
+	const (
+		rounds    = 50
+		producers = 4
+		consumers = 4
+		perProd   = 200
+	)
+	for round := 0; round < rounds; round++ {
+		q := newJobQueue(32)
+
+		// outstanding counts net admissions: +1 per accepted push/requeue,
+		// -1 per pop delivery and per job returned by close. Zero at the
+		// end means nothing was dropped or double-delivered.
+		var outstanding atomic.Int64
+		var wg sync.WaitGroup
+
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := 0; i < perProd; i++ {
+					j := &Job{ID: "job"}
+					// Alternate admission and supervision-retry paths so
+					// close races against both append directions.
+					var err error
+					if i%3 == 0 {
+						err = q.requeue(j)
+					} else {
+						err = q.push(j)
+					}
+					if err == nil {
+						outstanding.Add(1)
+					}
+				}
+			}(p)
+		}
+
+		var consWG sync.WaitGroup
+		for c := 0; c < consumers; c++ {
+			consWG.Add(1)
+			go func() {
+				defer consWG.Done()
+				for {
+					j := q.pop()
+					if j == nil {
+						return
+					}
+					outstanding.Add(-1)
+				}
+			}()
+		}
+
+		// Close mid-stream, racing the producers and consumers.
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			rest := q.close()
+			outstanding.Add(-int64(len(rest)))
+			for _, j := range rest {
+				if j == nil {
+					t.Error("close returned a nil job")
+				}
+			}
+		}()
+
+		wg.Wait()
+		<-done
+		consWG.Wait()
+
+		if n := outstanding.Load(); n != 0 {
+			t.Fatalf("round %d: %d admitted jobs unaccounted for (dropped or double-delivered)", round, n)
+		}
+		if d := q.depth(); d != 0 {
+			t.Fatalf("round %d: closed queue reports depth %d", round, d)
+		}
+	}
+}
+
+// TestQueueCloseIsIdempotent verifies a second close returns nothing (the
+// first close already drained the backlog) rather than re-returning jobs.
+func TestQueueCloseIsIdempotent(t *testing.T) {
+	q := newJobQueue(4)
+	if err := q.push(&Job{ID: "a"}); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	first := q.close()
+	if len(first) != 1 {
+		t.Fatalf("first close returned %d jobs, want 1", len(first))
+	}
+	if second := q.close(); len(second) != 0 {
+		t.Fatalf("second close returned %d jobs, want 0", len(second))
+	}
+	if err := q.push(&Job{ID: "b"}); err != ErrQueueClosed {
+		t.Fatalf("push after close = %v, want ErrQueueClosed", err)
+	}
+	if err := q.requeue(&Job{ID: "c"}); err != ErrQueueClosed {
+		t.Fatalf("requeue after close = %v, want ErrQueueClosed", err)
+	}
+	if j := q.pop(); j != nil {
+		t.Fatalf("pop after drained close = %v, want nil", j)
+	}
+}

@@ -27,14 +27,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"dnastore/internal/channel"
+	"dnastore/internal/obs"
 )
 
 // Phase is the server lifecycle state exposed by /healthz and /readyz.
@@ -89,6 +92,13 @@ type Config struct {
 	WrapSimulation func(ch channel.Channel, cov channel.CoverageModel) (channel.Channel, channel.CoverageModel)
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
+	// Logger, when set, receives structured per-request and per-job logs
+	// (job IDs, outcomes, stage timings). Independent of Logf so existing
+	// printf-style consumers keep working.
+	Logger *slog.Logger
+	// Registry receives the server's metrics; nil allocates a private
+	// registry (exposed via Server.Registry and GET /metrics either way).
+	Registry *obs.Registry
 }
 
 // Server is the dnasimd job service. It implements http.Handler; the
@@ -98,6 +108,8 @@ type Server struct {
 	queue    *jobQueue
 	dog      *watchdog
 	breaker  *Breaker
+	metrics  *serverMetrics
+	slog     *slog.Logger
 	workerWG sync.WaitGroup
 
 	mu     sync.Mutex
@@ -140,15 +152,37 @@ func New(cfg Config) *Server {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.Discard()
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
 	s := &Server{
 		cfg:     cfg,
 		queue:   newJobQueue(cfg.QueueCapacity),
-		dog:     newWatchdog(cfg.WatchdogInterval, cfg.StallAfter),
 		breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		slog:    cfg.Logger,
 		phase:   PhaseServing,
 		jobs:    make(map[string]*Job),
 		drained: make(chan struct{}),
 	}
+	// Supervision events flow into the metric surface through hooks so the
+	// watchdog and breaker stay observable without importing obs
+	// themselves. Both hooks are installed before any goroutine that can
+	// fire them starts (the watchdog scan loop starts inside newWatchdog;
+	// the breaker is only exercised by workers started below).
+	s.dog = newWatchdog(cfg.WatchdogInterval, cfg.StallAfter, func(j *Job) {
+		s.metrics.kills.Inc()
+		s.slog.Warn("watchdog kill", "job", j.ID, "stall_after", s.cfg.StallAfter)
+	})
+	s.breaker.onTransition = func(from, to BreakerState) {
+		if c := s.metrics.breakerTo[to]; c != nil {
+			c.Inc()
+		}
+		s.slog.Warn("breaker transition", "from", string(from), "to", string(to))
+	}
+	s.metrics = newServerMetrics(s, cfg.Registry)
 	s.routes()
 	s.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -159,6 +193,27 @@ func New(cfg Config) *Server {
 
 // logf forwards to the configured logger.
 func (s *Server) logf(format string, args ...any) { s.cfg.Logf(format, args...) }
+
+// Registry returns the server's metrics registry (also served from
+// GET /metrics).
+func (s *Server) Registry() *obs.Registry { return s.cfg.Registry }
+
+// finishJob moves a job to a terminal state and, if this call actually
+// performed the transition, records outcome and latency exactly once.
+// Every server-side finish goes through here; Job.finish stays idempotent
+// underneath, so racing finishers cannot double-count.
+func (s *Server) finishJob(j *Job, state JobState, result []byte, err error) {
+	if !j.finish(state, result, err) {
+		return
+	}
+	s.metrics.observeFinish(j, state)
+	attrs := []any{"job", j.ID, "kind", string(j.Spec.Kind), "state", string(state),
+		"attempts", j.Attempts(), "elapsed", time.Since(j.created).Round(time.Millisecond)}
+	if err != nil {
+		attrs = append(attrs, "error", err.Error())
+	}
+	s.slog.Info("job finished", attrs...)
+}
 
 // Phase returns the current lifecycle phase.
 func (s *Server) Phase() Phase {
@@ -190,6 +245,8 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		s.mu.Unlock()
 		return nil, err
 	}
+	s.metrics.submitted.Inc()
+	s.slog.Info("job admitted", "job", id, "kind", string(spec.Kind), "queue_depth", s.queue.depth())
 	return j, nil
 }
 
@@ -216,8 +273,13 @@ func (s *Server) Cancel(id string) (JobState, error) {
 		return st, nil
 	case j.state == StateQueued:
 		// Parked; the worker skips terminal jobs on pop.
-		j.finishLocked(StateCanceled, nil, errCanceledByClient)
+		transitioned := j.finishLocked(StateCanceled, nil, errCanceledByClient)
 		j.mu.Unlock()
+		if transitioned {
+			s.metrics.observeFinish(j, StateCanceled)
+			s.slog.Info("job finished", "job", j.ID, "kind", string(j.Spec.Kind),
+				"state", string(StateCanceled), "error", errCanceledByClient.Error())
+		}
 		return StateCanceled, nil
 	default:
 		cancel := j.cancel
@@ -229,17 +291,33 @@ func (s *Server) Cancel(id string) (JobState, error) {
 	}
 }
 
-// retryAfter estimates (in whole seconds, at least 1) when a shed client
-// should come back: the queue backlog divided across the worker pool at
-// the configured per-job estimate.
+// maxRetryAfterSeconds caps the Retry-After hint: past an hour the number
+// stops being advice and starts being a bug amplifier.
+const maxRetryAfterSeconds = 3600
+
+// retryAfter estimates when a shed client should come back: the queue
+// backlog divided across the worker pool at the configured per-job
+// estimate. RFC 9110 §10.2.3 defines Retry-After delta-seconds as a
+// non-negative decimal integer, and a 0 (or fractional) value makes
+// well-behaved clients retry immediately — so the estimate is rounded up
+// and clamped into [1, maxRetryAfterSeconds]. The clamp comparisons are
+// written to also catch a NaN/Inf estimate (misconfigured
+// EstimatedJobTime) before the float→int conversion, whose behavior is
+// undefined out of range.
 func (s *Server) retryAfter() int {
 	backlog := s.queue.depth() + s.dog.runningCount()
-	per := s.cfg.EstimatedJobTime.Seconds()
-	sec := math.Ceil(float64(backlog+1) * per / float64(s.cfg.Workers))
-	if sec < 1 {
-		sec = 1
+	workers := s.cfg.Workers
+	if workers < 1 {
+		workers = 1
 	}
-	return int(sec)
+	sec := s.cfg.EstimatedJobTime.Seconds() * float64(backlog+1) / float64(workers)
+	switch {
+	case !(sec > 1): // ≤1, or NaN
+		return 1
+	case sec >= maxRetryAfterSeconds:
+		return maxRetryAfterSeconds
+	}
+	return int(math.Ceil(sec))
 }
 
 // Drain executes the graceful shutdown state machine:
@@ -262,7 +340,7 @@ func (s *Server) Drain() {
 		// Shed the queue: those jobs never started, so there is nothing
 		// to checkpoint.
 		for _, j := range s.queue.close() {
-			j.finish(StateCanceled, nil, errDraining)
+			s.finishJob(j, StateCanceled, nil, errDraining)
 		}
 
 		// Interrupt checkpointable in-flight jobs: their progress is
@@ -356,11 +434,36 @@ func (s *Server) routes() {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.Handle("GET /metrics", s.cfg.Registry.Handler())
 	s.mux = mux
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// statusWriter captures the response code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler, logging every request with method,
+// path, status and latency. Job routes log at info; health and metrics
+// probes at debug so scrapers don't flood the log.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	lvl := slog.LevelDebug
+	if strings.HasPrefix(r.URL.Path, "/v1/") {
+		lvl = slog.LevelInfo
+	}
+	s.slog.Log(r.Context(), lvl, "http request",
+		"method", r.Method, "path", r.URL.Path, "status", sw.code,
+		"elapsed", time.Since(start).Round(time.Microsecond))
+}
 
 // writeJSON writes a JSON response.
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -372,6 +475,12 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // shed answers a rejected submission: 503 with a Retry-After hint, the
 // admission-control contract.
 func (s *Server) shed(w http.ResponseWriter, reason string) {
+	switch reason {
+	case "queue full":
+		s.metrics.shedFull.Inc()
+	case "draining":
+		s.metrics.shedDraining.Inc()
+	}
 	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": reason})
 }

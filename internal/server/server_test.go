@@ -329,6 +329,19 @@ func TestWatchdogKillsStallAndRetryIsByteIdentical(t *testing.T) {
 	if want := sequentialResult(t, spec.Simulate); !bytes.Equal(got, want) {
 		t.Error("post-stall retry output differs from sequential run")
 	}
+
+	// Supervision events surface on the metric registry: at least one
+	// watchdog kill and one requeue, and exactly one successful finish.
+	snap := s.Registry().Snapshot()
+	if kills := snap["dnasimd_watchdog_kills_total"]; kills < 1 {
+		t.Errorf("watchdog kill counter = %v, want >= 1", kills)
+	}
+	if rq := snap["dnasimd_job_requeues_total"]; rq < 1 {
+		t.Errorf("requeue counter = %v, want >= 1", rq)
+	}
+	if done := snap[`dnasimd_jobs_finished_total{outcome="done"}`]; done != 1 {
+		t.Errorf("finished{done} = %v, want 1", done)
+	}
 }
 
 // waitFor polls cond until true or the deadline.

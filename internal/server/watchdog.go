@@ -23,6 +23,11 @@ var ErrStalled = errors.New("server: job stalled (no cluster progress)")
 type watchdog struct {
 	interval   time.Duration
 	stallAfter time.Duration
+	// onKill, when set, observes every stall kill the watchdog performs
+	// (metrics and logging). Fixed at construction — the scan goroutine
+	// starts inside newWatchdog, so a later assignment would race — and
+	// called without holding w.mu.
+	onKill func(*Job)
 
 	mu      sync.Mutex
 	running map[string]*Job
@@ -32,13 +37,14 @@ type watchdog struct {
 
 // newWatchdog starts the scan loop. A non-positive stallAfter disables
 // stall detection (the watchdog still tracks jobs for observability).
-func newWatchdog(interval, stallAfter time.Duration) *watchdog {
+func newWatchdog(interval, stallAfter time.Duration, onKill func(*Job)) *watchdog {
 	if interval <= 0 {
 		interval = time.Second
 	}
 	w := &watchdog{
 		interval:   interval,
 		stallAfter: stallAfter,
+		onKill:     onKill,
 		running:    make(map[string]*Job),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
@@ -95,6 +101,9 @@ func (w *watchdog) loop() {
 				j.mu.Unlock()
 				if cancel != nil {
 					cancel(fmt.Errorf("%w after %s", ErrStalled, w.stallAfter))
+					if w.onKill != nil {
+						w.onKill(j)
+					}
 				}
 			}
 		}

@@ -12,6 +12,7 @@ import (
 	"dnastore/internal/channel"
 	"dnastore/internal/dataset"
 	"dnastore/internal/faults"
+	"dnastore/internal/obs"
 	"dnastore/internal/store"
 )
 
@@ -71,6 +72,12 @@ func (s *Server) runJob(j *Job) {
 	}
 	defer cancelTimeout()
 	ctx = channel.WithProgress(ctx, j.setProgress)
+	// The stage timer collects per-stage wall time and throughput from
+	// every instrumented layer the attempt passes through (channel
+	// simulation, pool sequencing, decode); it feeds the per-stage
+	// histograms and the attempt's debug log after settling.
+	stages := obs.NewStageTimer()
+	ctx = obs.WithTimer(ctx, stages)
 
 	// Transition to running and expose the cancel hook in one critical
 	// section: a client cancel that raced the pop either already parked
@@ -97,6 +104,7 @@ func (s *Server) runJob(j *Job) {
 	// clusters) and then walks away. The buffered channel lets the
 	// abandoned goroutine finish without leaking.
 	resCh := make(chan jobOutcome, 1)
+	attemptStart := time.Now()
 	go func() {
 		defer func() {
 			if p := recover(); p != nil {
@@ -118,6 +126,11 @@ func (s *Server) runJob(j *Job) {
 			out = jobOutcome{err: fmt.Errorf("server: attempt %d abandoned: %w", attempt, context.Cause(ctx))}
 		}
 	}
+	s.metrics.attemptSecs.Observe(time.Since(attemptStart).Seconds())
+	s.metrics.observeStages(stages.Snapshot())
+	if summary := stages.Summary(); summary != "" {
+		s.slog.Debug("attempt stages", "job", j.ID, "attempt", attempt, "stages", summary)
+	}
 	s.settle(j, ctx, out, abandoned)
 }
 
@@ -129,12 +142,12 @@ func (s *Server) settle(j *Job, ctx context.Context, out jobOutcome, abandoned b
 	switch {
 	case out.err == nil:
 		s.closeJobCheckpoint(j, true)
-		j.finish(StateDone, out.result, nil)
+		s.finishJob(j, StateDone, out.result, nil)
 		return
 
 	case errors.Is(cause, errCanceledByClient) || errors.Is(out.err, errCanceledByClient):
 		s.closeJobCheckpoint(j, false)
-		j.finish(StateCanceled, nil, errCanceledByClient)
+		s.finishJob(j, StateCanceled, nil, errCanceledByClient)
 		return
 
 	case errors.Is(cause, errDraining) || errors.Is(out.err, errDraining):
@@ -142,17 +155,17 @@ func (s *Server) settle(j *Job, ctx context.Context, out jobOutcome, abandoned b
 		// durable and the job is resumable; without one it is canceled.
 		if s.jobCheckpointPath(j) != "" && !abandoned {
 			s.closeJobCheckpoint(j, false)
-			j.finish(StateCheckpointed, nil, errDraining)
+			s.finishJob(j, StateCheckpointed, nil, errDraining)
 		} else {
 			s.closeJobCheckpoint(j, false)
-			j.finish(StateCanceled, nil, errDraining)
+			s.finishJob(j, StateCanceled, nil, errDraining)
 		}
 		return
 
 	case errors.Is(cause, context.DeadlineExceeded) || errors.Is(out.err, context.DeadlineExceeded):
 		// Re-running would meet the same deadline; fail now.
 		s.closeJobCheckpoint(j, false)
-		j.finish(StateFailed, nil, fmt.Errorf("server: job deadline exceeded: %w", out.err))
+		s.finishJob(j, StateFailed, nil, fmt.Errorf("server: job deadline exceeded: %w", out.err))
 		return
 
 	case errors.Is(cause, ErrStalled):
@@ -162,7 +175,7 @@ func (s *Server) settle(j *Job, ctx context.Context, out jobOutcome, abandoned b
 
 	case errors.Is(out.err, ErrBreakerOpen):
 		// The I/O dependency is known-bad; failing fast is the point.
-		j.finish(StateFailed, nil, out.err)
+		s.finishJob(j, StateFailed, nil, out.err)
 		return
 
 	default:
@@ -184,7 +197,7 @@ func (s *Server) retryOrFail(j *Job, attemptErr error) {
 	j.mu.Unlock()
 	if attempts >= s.cfg.MaxAttempts {
 		s.closeJobCheckpoint(j, false)
-		j.finish(StateFailed, nil, fmt.Errorf("server: %d attempts exhausted, last: %w", attempts, attemptErr))
+		s.finishJob(j, StateFailed, nil, fmt.Errorf("server: %d attempts exhausted, last: %w", attempts, attemptErr))
 		return
 	}
 	j.mu.Lock()
@@ -195,13 +208,14 @@ func (s *Server) retryOrFail(j *Job, attemptErr error) {
 	if err := s.queue.requeue(j); err != nil {
 		if s.jobCheckpointPath(j) != "" {
 			s.closeJobCheckpoint(j, false)
-			j.finish(StateCheckpointed, nil, errDraining)
+			s.finishJob(j, StateCheckpointed, nil, errDraining)
 		} else {
 			s.closeJobCheckpoint(j, false)
-			j.finish(StateCanceled, nil, errDraining)
+			s.finishJob(j, StateCanceled, nil, errDraining)
 		}
 		return
 	}
+	s.metrics.requeues.Inc()
 	s.logf("job %s requeued after attempt %d: %v", j.ID, attempts, attemptErr)
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"dnastore/internal/channel"
 	"dnastore/internal/dna"
+	"dnastore/internal/obs"
 	"dnastore/internal/rng"
 )
 
@@ -174,8 +175,11 @@ func (p *Pool) RetrieveAdaptive(ctx context.Context, key string, factory Sequenc
 			effScale *= 1 + jitter*(2*u-1)
 		}
 		ch, cov := factory(attempt, effScale)
+		timer := obs.TimerFrom(ctx)
 		var reads []dna.Strand
+		stopSeq := timer.Start("store.sequence")
 		reads, seqErr := p.SequenceCtx(ctx, ch, cov, deriveAttemptSeed(seed, attempt))
+		stopSeq(len(reads))
 		if ctx.Err() != nil {
 			lastErr = ctx.Err()
 			break
@@ -184,7 +188,9 @@ func (p *Pool) RetrieveAdaptive(ctx context.Context, key string, factory Sequenc
 		// degrade to missing reads; the decode's erasure handling takes it
 		// from there.
 		_ = seqErr
+		stopDec := timer.Start("store.decode")
 		data, rep, err := p.RetrieveReport(key, reads)
+		stopDec(rep.TotalStrands)
 		lastRep, lastErr = rep, err
 		if pol.OnAttempt != nil {
 			pol.OnAttempt(attempt, rep, err)
