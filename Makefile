@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-race chaos-smoke fuzz-smoke bench
+.PHONY: build test verify verify-race chaos-smoke fuzz-smoke bench bench-check
 
 build:
 	$(GO) build ./...
@@ -42,3 +42,11 @@ fuzz-smoke:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 	$(GO) run ./cmd/dnabench -json BENCH_sim.json
+
+# Regression gate: re-measure the simulate hot paths and fail on >15%
+# ns/op regression against the committed BENCH_sim.json baseline. The
+# comparison report lands in BENCH_compare.txt (archived by CI). After an
+# intentional perf change, refresh the baseline with `make bench` on the
+# reference machine and commit it.
+bench-check:
+	$(GO) run ./cmd/dnabench -compare BENCH_sim.json -compare-report BENCH_compare.txt

@@ -5,21 +5,26 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
+	"dnastore/internal/align"
 	"dnastore/internal/channel"
+	"dnastore/internal/dist"
+	"dnastore/internal/dna"
 )
 
-// The -json benchmark mode: a machine-readable measurement of the simulate
-// hot path — channel.Simulator.Simulate over a fixed synthetic workload —
-// written as one JSON document so CI can archive BENCH_sim.json per commit
-// and diff throughput across history. testing.Benchmark gives the same
-// adaptive iteration count and allocation accounting as `go test -bench`
-// without needing the test harness.
+// The -json / -compare benchmark modes: machine-readable measurements of
+// the simulate hot path — channel.Simulator.Simulate over fixed synthetic
+// workloads — written as one JSON document so CI can archive BENCH_sim.json
+// per commit, and diffed against a committed baseline so throughput
+// regressions fail the build instead of landing silently.
+// testing.Benchmark gives the same adaptive iteration count and allocation
+// accounting as `go test -bench` without needing the test harness.
 
-// benchResult is the BENCH_sim.json schema. Field names are stable: CI
-// artifacts are compared across commits.
+// benchResult is one entry of the BENCH_sim.json schema. Field names are
+// stable: CI artifacts are compared across commits.
 type benchResult struct {
 	// Name identifies the measured path.
 	Name string `json:"name"`
@@ -41,21 +46,69 @@ type benchResult struct {
 	GOMAXPROCS int    `json:"gomaxprocs"`
 }
 
-// runJSONBench measures the simulate hot path and writes BENCH_sim.json to
-// path.
-func runJSONBench(path string, seed uint64) error {
-	const (
-		clusters = 200
-		refLen   = 110
-		coverage = 8
-	)
-	refs := channel.RandomReferences(clusters, refLen, seed)
-	sim := channel.Simulator{
-		Channel:  channel.NewNaive("bench", channel.Rates{Sub: 0.01, Ins: 0.005, Del: 0.02}),
-		Coverage: channel.FixedCoverage(coverage),
+// benchWorkload is one named hot-path configuration.
+type benchWorkload struct {
+	name     string
+	clusters int
+	refLen   int
+	coverage int
+	simulate func() channel.Simulator
+}
+
+// secondOrderBenchModel builds the paper's full "+ 2nd-order Errors" tier:
+// spatial skew plus specific errors with their own histograms — the
+// workload whose per-position second-order scans and (formerly) mutex
+// traffic dominate Transmit cost.
+func secondOrderBenchModel() *channel.Model {
+	m := channel.NewNaive("bench-2so", channel.NanoporeMix(0.059))
+	m.LongDel = channel.PaperLongDeletion()
+	m.InsDist = [dna.NumBases]float64{0.3, 0.2, 0.2, 0.3}
+	tail := make([]float64, 300)
+	for i := range tail {
+		tail[i] = 1
 	}
+	tail[299] = 40
+	return m.WithSpatial(dist.NanoporeSkew()).WithSecondOrder([]channel.SecondOrderError{
+		{Kind: align.Del, From: dna.G, Rate: 0.011, Spatial: []float64{1, 1, 1, 1, 8}},
+		{Kind: align.Sub, From: dna.A, To: dna.G, Rate: 0.006},
+		{Kind: align.Ins, To: dna.T, Rate: 0.002, Spatial: tail},
+	})
+}
+
+// benchWorkloads returns the measured configurations. "channel.simulate"
+// keeps its original shape for cross-commit continuity; the second entry
+// is the second-order + spatial acceptance workload under heavy-tailed
+// coverage, which exercises the compiled plan and the work-stealing
+// scheduler together.
+func benchWorkloads() []benchWorkload {
+	return []benchWorkload{
+		{
+			name: "channel.simulate", clusters: 200, refLen: 110, coverage: 8,
+			simulate: func() channel.Simulator {
+				return channel.Simulator{
+					Channel:  channel.NewNaive("bench", channel.Rates{Sub: 0.01, Ins: 0.005, Del: 0.02}),
+					Coverage: channel.FixedCoverage(8),
+				}
+			},
+		},
+		{
+			name: "channel.simulate/secondorder-spatial", clusters: 400, refLen: 110, coverage: 10,
+			simulate: func() channel.Simulator {
+				return channel.Simulator{
+					Channel:  secondOrderBenchModel(),
+					Coverage: channel.NegBinCoverage{Mean: 10, Dispersion: 1.2},
+				}
+			},
+		},
+	}
+}
+
+// measure runs one workload under testing.Benchmark.
+func measure(w benchWorkload, seed uint64) (benchResult, error) {
+	refs := channel.RandomReferences(w.clusters, w.refLen, seed)
+	sim := w.simulate()
 	// Warm once outside the measurement so one-time setup (page faults,
-	// lazy tables) doesn't pollute the first iteration.
+	// plan compilation) doesn't pollute the first iteration.
 	sim.Simulate("bench", refs, seed)
 
 	res := testing.Benchmark(func(b *testing.B) {
@@ -65,30 +118,127 @@ func runJSONBench(path string, seed uint64) error {
 		}
 	})
 	if res.N == 0 {
-		return fmt.Errorf("benchmark did not run")
+		return benchResult{}, fmt.Errorf("benchmark %s did not run", w.name)
 	}
-
-	out := benchResult{
-		Name:           "channel.simulate",
-		Clusters:       clusters,
-		RefLen:         refLen,
-		Coverage:       coverage,
+	return benchResult{
+		Name:           w.name,
+		Clusters:       w.clusters,
+		RefLen:         w.refLen,
+		Coverage:       w.coverage,
 		Iterations:     res.N,
 		NsPerOp:        res.NsPerOp(),
-		ClustersPerSec: float64(clusters) / (time.Duration(res.NsPerOp()) * time.Nanosecond).Seconds(),
+		ClustersPerSec: float64(w.clusters) / (time.Duration(res.NsPerOp()) * time.Nanosecond).Seconds(),
 		AllocsPerOp:    res.AllocsPerOp(),
 		BytesPerOp:     res.AllocedBytesPerOp(),
 		GoVersion:      runtime.Version(),
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+	}, nil
+}
+
+// measureAll runs every workload.
+func measureAll(seed uint64) ([]benchResult, error) {
+	var out []benchResult
+	for _, w := range benchWorkloads() {
+		r, err := measure(w, seed)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "dnabench: %s: %d iterations, %.0f clusters/s, %d allocs/op\n",
+			r.Name, r.Iterations, r.ClustersPerSec, r.AllocsPerOp)
+		out = append(out, r)
 	}
-	buf, err := json.MarshalIndent(out, "", "  ")
+	return out, nil
+}
+
+// runJSONBench measures the hot paths and writes BENCH_sim.json to path.
+func runJSONBench(path string, seed uint64) error {
+	results, err := measureAll(seed)
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		return err
 	}
 	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "dnabench: %s: %d iterations, %.0f clusters/s, %d allocs/op -> %s\n",
-		out.Name, out.Iterations, out.ClustersPerSec, out.AllocsPerOp, path)
+	fmt.Fprintf(os.Stderr, "dnabench: wrote %d measurements -> %s\n", len(results), path)
+	return nil
+}
+
+// loadBaseline reads a BENCH_sim.json, accepting both the current array
+// schema and the original single-object schema.
+func loadBaseline(path string) ([]benchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var list []benchResult
+	if err := json.Unmarshal(data, &list); err == nil {
+		return list, nil
+	}
+	var one benchResult
+	if err := json.Unmarshal(data, &one); err == nil && one.Name != "" {
+		return []benchResult{one}, nil
+	}
+	return nil, fmt.Errorf("%s: not a benchmark baseline (array or single object)", path)
+}
+
+// compareBench measures every workload, diffs ns/op against the baseline
+// at path, and renders a report. It returns an error listing every
+// workload whose ns/op regressed by more than tolerance (fractional, e.g.
+// 0.15 = +15%). Baseline entries with no current counterpart — and new
+// workloads absent from the baseline — are reported but never fail the
+// gate, so workloads can be added or retired without breaking the build.
+func compareBench(baselinePath, reportPath string, tolerance float64, seed uint64) error {
+	baseline, err := loadBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+	current, err := measureAll(seed)
+	if err != nil {
+		return err
+	}
+	base := make(map[string]benchResult, len(baseline))
+	for _, b := range baseline {
+		base[b.Name] = b
+	}
+
+	var report strings.Builder
+	fmt.Fprintf(&report, "benchmark comparison vs %s (gate: >%+.0f%% ns/op)\n\n", baselinePath, tolerance*100)
+	fmt.Fprintf(&report, "%-40s %14s %14s %9s %12s\n", "workload", "baseline ns/op", "current ns/op", "delta", "clusters/s")
+	var regressions []string
+	for _, c := range current {
+		b, ok := base[c.Name]
+		if !ok {
+			fmt.Fprintf(&report, "%-40s %14s %14d %9s %12.0f  (new workload, not gated)\n",
+				c.Name, "-", c.NsPerOp, "-", c.ClustersPerSec)
+			continue
+		}
+		delta := float64(c.NsPerOp-b.NsPerOp) / float64(b.NsPerOp)
+		verdict := ""
+		if delta > tolerance {
+			verdict = "  REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d -> %d ns/op (%+.1f%%)", c.Name, b.NsPerOp, c.NsPerOp, delta*100))
+		}
+		fmt.Fprintf(&report, "%-40s %14d %14d %+8.1f%% %12.0f%s\n",
+			c.Name, b.NsPerOp, c.NsPerOp, delta*100, c.ClustersPerSec, verdict)
+		delete(base, c.Name)
+	}
+	for name := range base {
+		fmt.Fprintf(&report, "%-40s  (baseline entry with no current measurement)\n", name)
+	}
+
+	if reportPath != "" {
+		if err := os.WriteFile(reportPath, []byte(report.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprint(os.Stderr, report.String())
+	if len(regressions) > 0 {
+		return fmt.Errorf("bench regression gate failed:\n  %s", strings.Join(regressions, "\n  "))
+	}
 	return nil
 }

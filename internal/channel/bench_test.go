@@ -1,0 +1,55 @@
+package channel
+
+import (
+	"testing"
+
+	"dnastore/internal/rng"
+)
+
+// Hot-path benchmarks for the compiled transmission plan. Run with
+// -cpu=1,8 to see the lock-free win: the pre-plan implementation took two
+// mutex acquisitions per Transmit, which serialises at high parallelism.
+
+func BenchmarkTransmitNaive(b *testing.B) {
+	m := NewNaive("bench", Rates{Sub: 0.01, Ins: 0.005, Del: 0.02})
+	benchTransmit(b, m)
+}
+
+func BenchmarkTransmitSecondOrderSpatial(b *testing.B) {
+	benchTransmit(b, goldenModelSecondOrder())
+}
+
+// benchTransmit measures Transmit throughput with one RNG per goroutine,
+// parallel across GOMAXPROCS — the shape of real simulateWith traffic.
+func benchTransmit(b *testing.B, ch Channel) {
+	refs := RandomReferences(1, 110, 42)
+	ref := refs[0]
+	ch.Transmit(ref, rng.New(1)) // warm the plan cache outside the timer
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		r := rng.New(99)
+		for pb.Next() {
+			ch.Transmit(ref, r)
+		}
+	})
+}
+
+// BenchmarkSimulateSecondOrderSpatial is the acceptance-gate workload: a
+// full clustered simulation of the second-order + spatial model under
+// heavy-tailed coverage. clusters/s = clusters · 1e9 / (ns/op).
+func BenchmarkSimulateSecondOrderSpatial(b *testing.B) {
+	const clusters = 400
+	refs := RandomReferences(clusters, 110, 42)
+	sim := Simulator{
+		Channel:  goldenModelSecondOrder(),
+		Coverage: NegBinCoverage{Mean: 10, Dispersion: 1.2},
+	}
+	sim.Simulate("bench", refs, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Simulate("bench", refs, 42)
+	}
+	b.ReportMetric(float64(clusters)*float64(b.N)/b.Elapsed().Seconds(), "clusters/s")
+}

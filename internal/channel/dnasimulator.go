@@ -67,30 +67,39 @@ func (s *DNASimulator) Name() string {
 // sub, sub+ins, sub+ins+del, sub+ins+del+longdel. Substituted and inserted
 // bases are uniform over all four bases — including, for substitutions,
 // the original base, one of the modelling deficiencies §2.2.3 documents.
+//
+// The cumulative thresholds are hoisted out of the position loop: they are
+// the same float sums (same operand order) Algorithm 1 computed inline, so
+// output is byte-identical, but each is now added once per call instead of
+// three times per position.
 func (s *DNASimulator) Transmit(ref dna.Strand, r *rng.RNG) dna.Strand {
 	out := make([]byte, 0, ref.Len()+4)
 	burst := s.LongDelLen
 	if burst < 2 {
 		burst = 2
 	}
+	var thr [dna.NumBases][4]float64
+	for b, e := range s.Errors {
+		thr[b] = [4]float64{e.Sub, e.Sub + e.Ins, e.Sub + e.Ins + e.Del, e.Sub + e.Ins + e.Del + e.LongDel}
+	}
 	for i := 0; i < ref.Len(); {
 		b := ref.At(i)
-		e := s.Errors[b]
+		t := &thr[b]
 		u := r.Float64()
 		switch {
-		case u < e.Sub:
-			out = append(out, dna.Base(r.Intn(dna.NumBases)).Byte())
-			i++
-		case u < e.Sub+e.Ins:
-			out = append(out, b.Byte(), dna.Base(r.Intn(dna.NumBases)).Byte())
-			i++
-		case u < e.Sub+e.Ins+e.Del:
-			i++
-		case u < e.Sub+e.Ins+e.Del+e.LongDel:
-			i += burst
-		default:
+		case u >= t[3]:
 			out = append(out, b.Byte())
 			i++
+		case u < t[0]:
+			out = append(out, dna.Base(r.Intn(dna.NumBases)).Byte())
+			i++
+		case u < t[1]:
+			out = append(out, b.Byte(), dna.Base(r.Intn(dna.NumBases)).Byte())
+			i++
+		case u < t[2]:
+			i++
+		default:
+			i += burst
 		}
 	}
 	return dna.Strand(out)

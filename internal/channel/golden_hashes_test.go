@@ -1,0 +1,14 @@
+package channel
+
+// Hashes for TestGoldenSeedDatasets, captured from the pre-plan
+// implementation (mutex-guarded caches, per-position second-order double
+// scan) at the commit that introduced the compiled transmission plan.
+// They certify the rewrite consumed exactly the same RNG draws.
+const (
+	goldenHashNaive       = "6fadfa170cb25a9b8474016c96c2597c"
+	goldenHashCond        = "8367e35ad2c3f18f13e28d39bf0c361c"
+	goldenHashSpatial     = "81296f7ea6e1f01c2a9d45e27dbb6051"
+	goldenHashSecondOrder = "d8b45c7b9cd3a1e6cb10a7352ff452c7"
+	goldenHashHighRate    = "3da32917f6c4a0b86871395c99a24620"
+	goldenHashDNASim      = "13aa0eaa88aada7d047b22b355bddc40"
+)

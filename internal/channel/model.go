@@ -3,6 +3,7 @@ package channel
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"dnastore/internal/align"
 	"dnastore/internal/dist"
@@ -83,9 +84,15 @@ type Model struct {
 	// PerBase so the aggregate stays fixed.
 	SecondOrder []SecondOrderError
 
-	mu        sync.Mutex
-	multCache map[int][]float64 // strand length -> per-position multiplier
-	soCache   map[int][][]float64
+	// plans caches one compiled transmission plan per strand length in a
+	// copy-on-write map (see plan.go): Transmit reads it with a single
+	// atomic load and never takes a lock. Like the mutex-guarded caches it
+	// replaced, it assumes the model's parameter fields are not mutated
+	// after the first Transmit.
+	plans atomic.Pointer[map[int]*txPlan]
+	// bufPool recycles per-read output scratch buffers, sized by the
+	// plan's expected-output capacity hint.
+	bufPool sync.Pool
 }
 
 // Name implements Channel.
@@ -126,65 +133,6 @@ func (m *Model) AggregateRate() float64 {
 	return agg
 }
 
-// multipliers returns cached per-position multipliers with mean 1 encoding
-// the model's spatial shape for strands of the given length.
-func (m *Model) multipliers(length int) []float64 {
-	if m.Spatial == nil {
-		return nil // uniform; callers treat nil as all-ones
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if mult, ok := m.multCache[length]; ok {
-		return mult
-	}
-	// Use a nominal rate to extract the *shape*; dividing by the mean turns
-	// it into multipliers. A small nominal rate avoids the clamp at
-	// high-skew positions distorting the shape.
-	const nominal = 0.01
-	rates := m.Spatial.Rates(length, nominal)
-	mult := make([]float64, length)
-	for i, r := range rates {
-		mult[i] = r / nominal
-	}
-	if m.multCache == nil {
-		m.multCache = make(map[int][]float64)
-	}
-	m.multCache[length] = mult
-	return mult
-}
-
-// secondOrderMults returns, per second-order error, the cached mean-1
-// position-weight vector resampled to the given strand length.
-func (m *Model) secondOrderMults(length int) [][]float64 {
-	if len(m.SecondOrder) == 0 {
-		return nil
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if v, ok := m.soCache[length]; ok {
-		return v
-	}
-	out := make([][]float64, len(m.SecondOrder))
-	for k, e := range m.SecondOrder {
-		if len(e.Spatial) == 0 {
-			continue // uniform
-		}
-		emp := dist.Empirical{Weights: e.Spatial}
-		const nominal = 0.01
-		rates := emp.Rates(length, nominal)
-		mult := make([]float64, length)
-		for i, r := range rates {
-			mult[i] = r / nominal
-		}
-		out[k] = mult
-	}
-	if m.soCache == nil {
-		m.soCache = make(map[int][][]float64)
-	}
-	m.soCache[length] = out
-	return out
-}
-
 // maxPositionRate caps the combined event probability at one position.
 const maxPositionRate = 0.99
 
@@ -192,7 +140,79 @@ const maxPositionRate = 0.99
 // cumulative order: each applicable second-order error, generic
 // substitution, generic insertion (ref base emitted, extra base appended),
 // generic deletion, long deletion (burst of >= 2 bases), else faithful copy.
+//
+// The hot path runs off a compiled per-length plan (plan.go): one atomic
+// load to fetch the plan, then per position one uniform draw and one
+// comparison against the precomputed faithful-copy boundary; the threshold
+// walk only happens on the rare error positions. Output is byte-identical
+// to transmitReference below — the same RNG draws against bitwise-equal
+// thresholds — as enforced by the golden-seed and differential tests.
 func (m *Model) Transmit(ref dna.Strand, r *rng.RNG) dna.Strand {
+	length := ref.Len()
+	if length == 0 {
+		return ref
+	}
+	p := m.plan(length)
+	buf := m.getBuf(p.capHint)
+	out := buf
+	mask := p.posMask
+	for i := 0; i < length; {
+		b := ref.At(i)
+		bp := &p.pos[i&mask][b]
+		u := r.Float64()
+		if u >= bp.thrLong {
+			// Faithful copy — the overwhelmingly common case.
+			out = append(out, b.Byte())
+			i++
+			continue
+		}
+		if bp.soStart < bp.soEnd {
+			matched := false
+			for e := bp.soStart; e < bp.soEnd; e++ {
+				ev := &p.soEvents[e]
+				if u < ev.thr {
+					switch ev.kind {
+					case align.Sub:
+						out = append(out, ev.to)
+						i++
+					case align.Del:
+						i++
+					case align.Ins:
+						out = append(out, b.Byte(), ev.to)
+						i++
+					}
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+		}
+		switch {
+		case u < bp.thrSub:
+			out = append(out, p.sub[b].sample(b, r))
+			i++
+		case u < bp.thrIns:
+			out = append(out, b.Byte(), p.ins.sample(r))
+			i++
+		case u < bp.thrDel:
+			i++
+		default: // u < bp.thrLong: long deletion
+			i += p.longDel.sample(r)
+		}
+	}
+	s := dna.Strand(out)
+	m.putBuf(out)
+	return s
+}
+
+// transmitReference is the original, uncompiled implementation of
+// Transmit, retained verbatim as the executable specification of the
+// channel's sampling semantics. The differential tests in plan_test.go
+// assert Transmit matches it byte-for-byte on the same RNG stream; it is
+// not used on any production path.
+func (m *Model) transmitReference(ref dna.Strand, r *rng.RNG) dna.Strand {
 	length := ref.Len()
 	if length == 0 {
 		return ref
@@ -374,7 +394,8 @@ func (m *Model) WithSecondOrder(errors []SecondOrderError) *Model {
 	return out
 }
 
-// shallowCopy duplicates the model without its caches or mutex state.
+// shallowCopy duplicates the model without its compiled-plan cache or
+// scratch pool; the copy compiles fresh plans on first Transmit.
 func (m *Model) shallowCopy() *Model {
 	out := &Model{
 		Label:       m.Label,

@@ -1,0 +1,396 @@
+package channel
+
+import (
+	"math"
+
+	"dnastore/internal/align"
+	"dnastore/internal/dist"
+	"dnastore/internal/dna"
+	"dnastore/internal/rng"
+)
+
+// The compiled transmission plan.
+//
+// Model.Transmit is the innermost loop of every experiment: millions of
+// calls per table, each visiting every reference position. The naive
+// implementation paid, per call, two mutex acquisitions (the spatial and
+// second-order multiplier caches) and, per position, two scans over the
+// second-order error list — one to accumulate the total mass for the
+// probability clamp, one to walk the cumulative thresholds. Those two
+// scans also had to stay in float-for-float lockstep or sampling would
+// silently bias (the drift hazard fixed by this file: there is now exactly
+// one shared table).
+//
+// A txPlan precomputes, for one strand length, everything Transmit needs:
+// per-(position, base) cumulative event thresholds — second-order slices
+// first, then the generic substitution / insertion / deletion /
+// long-deletion boundaries — already scaled by the maxPositionRate clamp,
+// plus position-independent samplers for the confusion matrix, the
+// insertion distribution and the long-deletion length. The per-position
+// loop becomes: one Float64 draw, one comparison against the faithful-copy
+// boundary, and (rarely, on an error event) a short threshold walk.
+//
+// RNG-draw preservation contract: a compiled plan consumes exactly the
+// same RNG draws, in the same order, with bitwise-identical comparison
+// thresholds, as the reference implementation (transmitReference in
+// model.go). Every float expression in compilePlan mirrors the reference
+// expression shape — same operand order, same associativity — so the
+// thresholds are equal as IEEE-754 values, not merely approximately. The
+// golden-seed and differential tests in plan_test.go / golden_test.go
+// enforce this byte-for-byte.
+//
+// Plans are cached per strand length in a copy-on-write map behind an
+// atomic.Pointer: readers never lock; a cache miss compiles a fresh plan
+// and installs it with a compare-and-swap, retrying (and discarding the
+// losing compile) on contention. Models must not be mutated after the
+// first Transmit — the same assumption the old mutex-guarded caches made.
+
+// planEvent is one applicable second-order error at one (position, base):
+// its cumulative scaled threshold and the action to take when it fires.
+type planEvent struct {
+	// thr is the cumulative probability threshold: the event fires when the
+	// position's uniform draw is below thr and at or above the previous
+	// event's thr.
+	thr float64
+	// kind is align.Sub, align.Del or align.Ins.
+	kind align.OpKind
+	// to is the emitted base byte (substitution replacement or inserted
+	// base); unused for deletions.
+	to byte
+}
+
+// basePlan holds the compiled thresholds for one (position, base) pair.
+// The boundaries are cumulative: soEvents' thresholds < thrSub < thrIns <
+// thrDel < thrLong (non-strictly), and a draw at or above thrLong is a
+// faithful copy.
+type basePlan struct {
+	// soStart and soEnd delimit this cell's slice of txPlan.soEvents.
+	soStart, soEnd int32
+	// Generic-event boundaries, pre-scaled by the clamp factor.
+	thrSub, thrIns, thrDel, thrLong float64
+}
+
+// subSampler draws the replacement base for a substitution of one specific
+// reference base, reproducing Model.sampleSub draw-for-draw.
+type subSampler struct {
+	// uniform is true when the confusion row is all-zero: one Intn(3) draw.
+	uniform bool
+	// total is the row sum over the three other bases, in base order.
+	total float64
+	// row and bases are the weights and output bytes of the three
+	// candidate bases, in base order.
+	row   [dna.NumBases - 1]float64
+	bases [dna.NumBases - 1]byte
+	// fallback is the numerically-unreachable overflow result
+	// (b.Complement(), kept for bitwise compatibility with the reference).
+	fallback byte
+}
+
+// sample draws the replacement byte.
+func (s *subSampler) sample(b dna.Base, r *rng.RNG) byte {
+	if s.uniform {
+		k := r.Intn(dna.NumBases - 1)
+		c := dna.Base(k)
+		if c >= b {
+			c++
+		}
+		return c.Byte()
+	}
+	u := r.Float64() * s.total
+	for j, w := range s.row {
+		u -= w
+		if u < 0 {
+			return s.bases[j]
+		}
+	}
+	return s.fallback
+}
+
+// insSampler draws the inserted base, reproducing Model.sampleIns
+// draw-for-draw.
+type insSampler struct {
+	// uniform is true when InsDist is all-zero: one Intn(4) draw.
+	uniform bool
+	// total and row mirror the insertion distribution.
+	total float64
+	row   [dna.NumBases]float64
+}
+
+// sample draws the inserted byte.
+func (s *insSampler) sample(r *rng.RNG) byte {
+	if s.uniform {
+		return dna.Base(r.Intn(dna.NumBases)).Byte()
+	}
+	u := r.Float64() * s.total
+	for c, w := range s.row {
+		u -= w
+		if u < 0 {
+			return dna.Base(c).Byte()
+		}
+	}
+	return dna.Base(dna.NumBases - 1).Byte()
+}
+
+// longDelSampler draws a burst length, reproducing
+// LongDeletion.sampleLen draw-for-draw.
+type longDelSampler struct {
+	// weights is nil when no length distribution is set (no draw consumed).
+	weights []float64
+	total   float64
+	minLen  int
+}
+
+// sample draws the burst length.
+func (s *longDelSampler) sample(r *rng.RNG) int {
+	if len(s.weights) == 0 || s.total <= 0 {
+		return s.minLen
+	}
+	u := r.Float64() * s.total
+	for k, w := range s.weights {
+		u -= w
+		if u < 0 {
+			return s.minLen + k
+		}
+	}
+	return s.minLen + len(s.weights) - 1
+}
+
+// txPlan is the compiled transmission plan for one strand length.
+type txPlan struct {
+	length int
+	// pos holds one [NumBases]basePlan per position — or a single shared
+	// entry when the model is positionally uniform (no spatial shape, no
+	// per-error spatial histograms). posMask is ^0 in the per-position
+	// case and 0 in the uniform case, so the hot loop indexes pos[i&mask]
+	// branch-free.
+	pos     [][dna.NumBases]basePlan
+	posMask int
+	// soEvents is the shared flat table every basePlan slices into — the
+	// single source of truth that replaces the old twin accumulation loops.
+	soEvents []planEvent
+	// Samplers for the rare event paths.
+	sub     [dna.NumBases]subSampler
+	ins     insSampler
+	longDel longDelSampler
+	// capHint sizes the output scratch buffer: strand length plus expected
+	// insertions plus four standard deviations of slack, instead of the
+	// old flat length+4 (which under-provisioned insertion-heavy models,
+	// forcing an append regrow on nearly every read).
+	capHint int
+}
+
+// plan returns the compiled plan for the given length, compiling and
+// installing it on first use. Lock-free: concurrent callers may race to
+// compile the same length; exactly one CAS wins and the others retry on
+// the updated map (finding the winner's plan).
+func (m *Model) plan(length int) *txPlan {
+	for {
+		cur := m.plans.Load()
+		if cur != nil {
+			if p, ok := (*cur)[length]; ok {
+				return p
+			}
+		}
+		p := m.compilePlan(length)
+		var next map[int]*txPlan
+		if cur != nil {
+			next = make(map[int]*txPlan, len(*cur)+1)
+			for k, v := range *cur {
+				next[k] = v
+			}
+		} else {
+			next = make(map[int]*txPlan, 1)
+		}
+		next[length] = p
+		if m.plans.CompareAndSwap(cur, &next) {
+			return p
+		}
+	}
+}
+
+// compilePlan builds the per-position threshold tables for one length.
+// Every arithmetic expression below deliberately mirrors the reference
+// implementation's shape (operand order and associativity) so thresholds
+// are bitwise-equal to the ones the reference computes at runtime.
+func (m *Model) compilePlan(length int) *txPlan {
+	mult := m.multipliers(length)
+	soMult := m.secondOrderMults(length)
+	uniform := mult == nil && soMult == nil
+
+	p := &txPlan{length: length}
+	nPos := length
+	if uniform {
+		nPos = 1
+		p.posMask = 0
+	} else {
+		p.posMask = ^0
+	}
+	p.pos = make([][dna.NumBases]basePlan, nPos)
+
+	expIns := 0.0 // expected insertions per read, assuming uniform bases
+	for i := 0; i < nPos; i++ {
+		posMult := 1.0
+		if mult != nil {
+			posMult = mult[i]
+		}
+		for b := dna.Base(0); b < dna.NumBases; b++ {
+			rates := m.PerBase[b].Scale(posMult)
+			longDel := m.LongDel.Prob * posMult
+
+			soTotal := 0.0
+			for k, e := range m.SecondOrder {
+				if !e.applies(b) {
+					continue
+				}
+				w := 1.0
+				if soMult != nil && soMult[k] != nil {
+					w = soMult[k][i]
+				}
+				soTotal += e.Rate * w
+			}
+			total := soTotal + rates.Total() + longDel
+			scale := 1.0
+			if total > maxPositionRate {
+				scale = maxPositionRate / total
+			}
+
+			soStart := int32(len(p.soEvents))
+			acc := 0.0
+			soIns := 0.0
+			for k, e := range m.SecondOrder {
+				if !e.applies(b) {
+					continue
+				}
+				w := 1.0
+				if soMult != nil && soMult[k] != nil {
+					w = soMult[k][i]
+				}
+				acc += e.Rate * w * scale
+				p.soEvents = append(p.soEvents, planEvent{thr: acc, kind: e.Kind, to: e.To.Byte()})
+				if e.Kind == align.Ins {
+					soIns += e.Rate * w * scale
+				}
+			}
+			p.pos[i][b] = basePlan{
+				soStart: soStart,
+				soEnd:   int32(len(p.soEvents)),
+				thrSub:  acc + rates.Sub*scale,
+				thrIns:  acc + (rates.Sub+rates.Ins)*scale,
+				thrDel:  acc + (rates.Sub+rates.Ins+rates.Del)*scale,
+				thrLong: acc + (rates.Total()+longDel)*scale,
+			}
+			expIns += (rates.Ins*scale + soIns) / dna.NumBases
+		}
+	}
+	if uniform {
+		expIns *= float64(length)
+	}
+
+	// Position-independent samplers.
+	for b := dna.Base(0); b < dna.NumBases; b++ {
+		s := &p.sub[b]
+		j := 0
+		for c := dna.Base(0); c < dna.NumBases; c++ {
+			if c == b {
+				continue
+			}
+			s.row[j] = m.SubMatrix[b][c]
+			s.bases[j] = c.Byte()
+			s.total += m.SubMatrix[b][c]
+			j++
+		}
+		s.uniform = s.total <= 0
+		s.fallback = b.Complement().Byte()
+	}
+	insTotal := 0.0
+	for _, w := range m.InsDist {
+		insTotal += w
+	}
+	p.ins = insSampler{uniform: insTotal <= 0, total: insTotal, row: m.InsDist}
+	ldTotal := 0.0
+	for _, w := range m.LongDel.LengthWeights {
+		ldTotal += w
+	}
+	p.longDel = longDelSampler{minLen: m.LongDel.minLen(), total: ldTotal}
+	if ldTotal > 0 {
+		p.longDel.weights = append([]float64(nil), m.LongDel.LengthWeights...)
+	}
+
+	p.capHint = length + 4 + int(math.Ceil(expIns+4*math.Sqrt(expIns)))
+	return p
+}
+
+// multipliers returns per-position multipliers with mean 1 encoding the
+// model's spatial shape for strands of the given length; nil means uniform.
+// Pure function of the model — callers (the plan compiler and the
+// reference path) cache at their own layer.
+func (m *Model) multipliers(length int) []float64 {
+	if m.Spatial == nil {
+		return nil // uniform; callers treat nil as all-ones
+	}
+	// Use a nominal rate to extract the *shape*; dividing by the mean turns
+	// it into multipliers. A small nominal rate avoids the clamp at
+	// high-skew positions distorting the shape.
+	const nominal = 0.01
+	rates := m.Spatial.Rates(length, nominal)
+	mult := make([]float64, length)
+	for i, r := range rates {
+		mult[i] = r / nominal
+	}
+	return mult
+}
+
+// secondOrderMults returns, per second-order error, the mean-1
+// position-weight vector resampled to the given strand length; nil when no
+// error carries a spatial histogram (all-uniform).
+func (m *Model) secondOrderMults(length int) [][]float64 {
+	if len(m.SecondOrder) == 0 {
+		return nil
+	}
+	var out [][]float64
+	for k, e := range m.SecondOrder {
+		if len(e.Spatial) == 0 {
+			continue // uniform
+		}
+		emp := dist.Empirical{Weights: e.Spatial}
+		const nominal = 0.01
+		rates := emp.Rates(length, nominal)
+		mult := make([]float64, length)
+		for i, r := range rates {
+			mult[i] = r / nominal
+		}
+		if out == nil {
+			out = make([][]float64, len(m.SecondOrder))
+		}
+		out[k] = mult
+	}
+	return out
+}
+
+// getBuf returns a scratch output buffer with at least capHint capacity,
+// reusing a pooled one when possible. The buffer is copied into the
+// immutable Strand before putBuf returns it to the pool.
+func (m *Model) getBuf(capHint int) []byte {
+	if v := m.bufPool.Get(); v != nil {
+		b := *(v.(*[]byte))
+		if cap(b) >= capHint {
+			return b[:0]
+		}
+	}
+	return make([]byte, 0, capHint)
+}
+
+// putBuf recycles a scratch buffer.
+func (m *Model) putBuf(b []byte) {
+	m.bufPool.Put(&b)
+}
+
+// planStats reports cache contents for tests: the number of compiled
+// lengths currently installed.
+func (m *Model) planStats() int {
+	cur := m.plans.Load()
+	if cur == nil {
+		return 0
+	}
+	return len(*cur)
+}

@@ -185,20 +185,24 @@ func (s Simulator) simulateWith(ctx context.Context, name string, refs []dna.Str
 			progress(int(n), total)
 		}
 	}
-	chunk := (len(refs) + workers - 1) / workers
+	// Work-stealing cluster dispatch: every worker grabs the next
+	// unclaimed index from a shared atomic counter. Static contiguous
+	// chunking serialised badly under heavy-tailed coverage models
+	// (NegBinCoverage draws occasionally demand 10× the mean reads, and
+	// whichever worker owned that contiguous range finished last while the
+	// rest idled); with index stealing the load balances automatically.
+	// Output is unaffected: each cluster's RNG derives from (seed, index),
+	// never from which worker ran it.
+	var next atomic.Int64
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(refs) {
-			hi = len(refs)
-		}
-		if lo >= hi {
-			break
-		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func() {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(refs) {
+					return
+				}
 				if ctx.Err() != nil {
 					return
 				}
@@ -228,7 +232,7 @@ func (s Simulator) simulateWith(ctx context.Context, name string, refs []dna.Str
 				}
 				advance()
 			}
-		}(lo, hi)
+		}()
 	}
 	wg.Wait()
 	sort.Slice(clusterErrs, func(i, j int) bool { return clusterErrs[i].Index < clusterErrs[j].Index })
@@ -284,6 +288,16 @@ func RandomReferences(n, length int, seed uint64) []dna.Strand {
 }
 
 // Describe returns a one-line description of the simulator configuration.
+// Unlike SimulateCtx, which refuses to run a half-configured Simulator,
+// Describe is diagnostic: an unset Channel or CoverageModel renders as
+// "<unset>" instead of panicking, so it is safe in log and error paths.
 func (s Simulator) Describe() string {
-	return fmt.Sprintf("channel=%s coverage=%s", s.Channel.Name(), s.Coverage.Name())
+	ch, cov := "<unset>", "<unset>"
+	if s.Channel != nil {
+		ch = s.Channel.Name()
+	}
+	if s.Coverage != nil {
+		cov = s.Coverage.Name()
+	}
+	return fmt.Sprintf("channel=%s coverage=%s", ch, cov)
 }

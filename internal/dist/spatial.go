@@ -276,8 +276,13 @@ func (e Empirical) Rates(length int, rate float64) []float64 {
 	return shapeRates(w, rate)
 }
 
-// resample maps src onto n points by linear interpolation over relative
-// position.
+// resample maps src onto n points. Upsampling (n > len(src)) interpolates
+// linearly over relative position. Downsampling (n < len(src)) uses
+// area-weighted binning: each output bin averages the source density over
+// the exact sub-interval it covers, so the histogram's mass is conserved
+// (mean(out) == mean(src) up to rounding) and narrow spikes — like the
+// terminal-position boost of Fig 3.2b — are attenuated proportionally
+// instead of being aliased away by point sampling at bin centres.
 func resample(src []float64, n int) []float64 {
 	if len(src) == n {
 		out := make([]float64, n)
@@ -291,6 +296,9 @@ func resample(src []float64, n int) []float64 {
 		}
 		return out
 	}
+	if n < len(src) {
+		return downsampleArea(src, n)
+	}
 	for i := range out {
 		// Relative position of the centre of output bin i, mapped onto the
 		// source index space.
@@ -301,6 +309,35 @@ func resample(src []float64, n int) []float64 {
 		}
 		frac := x - float64(lo)
 		out[i] = src[lo]*(1-frac) + src[lo+1]*frac
+	}
+	return out
+}
+
+// downsampleArea shrinks src to n bins by averaging the piecewise-constant
+// source density over each output bin's interval. Output bin i covers the
+// source-index range [i·S/n, (i+1)·S/n) for S = len(src); every source bin
+// contributes to the overlapping output bins in proportion to the overlap
+// length, so total mass is conserved exactly.
+func downsampleArea(src []float64, n int) []float64 {
+	out := make([]float64, n)
+	ratio := float64(len(src)) / float64(n) // > 1 source bins per output bin
+	for i := range out {
+		lo := float64(i) * ratio
+		hi := float64(i+1) * ratio
+		jLo := int(lo)
+		jHi := int(math.Ceil(hi))
+		if jHi > len(src) {
+			jHi = len(src)
+		}
+		mass := 0.0
+		for j := jLo; j < jHi; j++ {
+			l := math.Max(lo, float64(j))
+			h := math.Min(hi, float64(j+1))
+			if h > l {
+				mass += src[j] * (h - l)
+			}
+		}
+		out[i] = mass / ratio
 	}
 	return out
 }

@@ -236,3 +236,80 @@ func TestMeanHelper(t *testing.T) {
 		t.Error("Mean([1,2,3]) != 2")
 	}
 }
+
+// --- downsampling (area-weighted) ---
+
+// TestResampleDownMassConservation: downsampling must conserve the
+// histogram's mass — mean(out) == mean(src) — for arbitrary shapes and
+// arbitrary output sizes. The old centre-point sampling violated this
+// whenever a narrow spike fell between output bin centres.
+func TestResampleDownMassConservation(t *testing.T) {
+	cases := []struct {
+		name string
+		src  []float64
+		n    int
+	}{
+		{"smooth", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 4},
+		{"terminal-spike", append(make([]float64, 99), 50), 10},
+		{"leading-spike", append([]float64{50}, make([]float64, 99)...), 7},
+		{"interior-spike", func() []float64 {
+			w := make([]float64, 200)
+			for i := range w {
+				w[i] = 1
+			}
+			w[137] = 300
+			return w
+		}(), 33},
+		{"non-divisible", []float64{1, 0, 0, 0, 0, 0, 9}, 3},
+	}
+	for _, tc := range cases {
+		out := resample(tc.src, tc.n)
+		if len(out) != tc.n {
+			t.Fatalf("%s: len = %d, want %d", tc.name, len(out), tc.n)
+		}
+		if got, want := Mean(out), Mean(tc.src); math.Abs(got-want) > 1e-9*math.Max(1, want) {
+			t.Errorf("%s: mean(out) = %v, want mean(src) = %v", tc.name, got, want)
+		}
+	}
+}
+
+// TestResampleDownTerminalSpikeSurvives pins the Fig 3.2b failure mode: a
+// single boosted terminal bin must keep its boost (attenuated by the bin
+// ratio, not erased) after downsampling.
+func TestResampleDownTerminalSpikeSurvives(t *testing.T) {
+	src := make([]float64, 100)
+	for i := range src {
+		src[i] = 1
+	}
+	src[99] = 101 // terminal spike carrying 50% extra mass
+	out := resample(src, 10)
+	last := out[len(out)-1]
+	// The last output bin averages 10 source bins: (9·1 + 101)/10 = 11.
+	if math.Abs(last-11) > 1e-9 {
+		t.Errorf("terminal bin = %v, want 11 (spike aliased away?)", last)
+	}
+	for i := 0; i < len(out)-1; i++ {
+		if math.Abs(out[i]-1) > 1e-9 {
+			t.Errorf("interior bin %d = %v, want 1", i, out[i])
+		}
+	}
+}
+
+// TestResampleDownMassConservationQuick fuzzes shapes and sizes.
+func TestResampleDownMassConservationQuick(t *testing.T) {
+	f := func(raw []byte, nRaw uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		src := make([]float64, len(raw))
+		for i, b := range raw {
+			src[i] = float64(b)
+		}
+		n := 1 + int(nRaw)%len(src)
+		out := resample(src, n)
+		return math.Abs(Mean(out)-Mean(src)) <= 1e-9*math.Max(1, Mean(src))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

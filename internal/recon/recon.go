@@ -13,6 +13,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dnastore/internal/dataset"
 	"dnastore/internal/dna"
@@ -54,23 +55,25 @@ func ReconstructDatasetCtx(ctx context.Context, rec Reconstructor, ds *dataset.D
 		workers = 1
 	}
 	var wg sync.WaitGroup
-	chunk := (len(ds.Clusters) + workers - 1) / workers
+	// Work-stealing dispatch (mirroring channel.simulateWith): cluster
+	// sizes are heavy-tailed under realistic coverage, so contiguous
+	// chunking left one worker grinding the big clusters while the others
+	// sat idle; a shared atomic index balances the load. Reconstructors
+	// are deterministic, so assignment order cannot affect results.
+	var next atomic.Int64
 	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > len(ds.Clusters) {
-			hi = len(ds.Clusters)
-		}
-		if lo >= hi {
-			break
-		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func() {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ds.Clusters) {
+					return
+				}
 				c := ds.Clusters[i]
 				out[i] = rec.Reconstruct(c.Reads, c.Ref.Len())
 			}
-		}(lo, hi)
+		}()
 	}
 	wg.Wait()
 	return out
