@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-race chaos-smoke fuzz-smoke bench bench-check
+.PHONY: build test verify verify-race chaos-smoke fuzz-smoke bench bench-check loadcheck
 
 build:
 	$(GO) build ./...
@@ -21,10 +21,11 @@ verify-race:
 	$(GO) test -race ./internal/channel/... ./internal/store/... ./internal/durable/... ./internal/obs/...
 
 # Chaos smoke: the dnasimd job-server drills — injected panics, stalls,
-# overload shedding, breaker trips and the drain/resume cycle — under the
-# race detector.
+# overload shedding, breaker trips and the drain/resume cycle — plus the
+# client/proxy drills (resets, slow-loris, blackholes, corrupted bodies,
+# end-to-end conservation), all under the race detector.
 chaos-smoke:
-	$(GO) test -race -count=1 ./internal/server/...
+	$(GO) test -race -count=1 ./internal/server/... ./internal/client/... ./internal/chaosnet/...
 
 # Short fuzz pass over every parser that consumes on-disk bytes: the
 # durable container reader, the pool loader, the FASTA/FASTQ parsers, and
@@ -50,3 +51,13 @@ bench:
 # reference machine and commit it.
 bench-check:
 	$(GO) run ./cmd/dnabench -compare BENCH_sim.json -compare-report BENCH_compare.txt
+
+# Capacity & conservation gate: drive the dnasimd server through the
+# chaosnet fault proxy at a fixed open-loop arrival rate, fail hard on any
+# lost / duplicated / corrupted job, refresh BENCH_serve.json, and fail on
+# capacity regression against the committed baseline (dnaload reads the
+# baseline before rewriting the file, so one run both measures and gates).
+# After an intentional capacity change, re-run and commit the refreshed
+# BENCH_serve.json.
+loadcheck:
+	$(GO) run ./cmd/dnaload -rps 60 -jobs 90 -chaos -out BENCH_serve.json -compare BENCH_serve.json

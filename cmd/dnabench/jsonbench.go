@@ -185,12 +185,17 @@ func loadBaseline(path string) ([]benchResult, error) {
 	return nil, fmt.Errorf("%s: not a benchmark baseline (array or single object)", path)
 }
 
-// compareBench measures every workload, diffs ns/op against the baseline
-// at path, and renders a report. It returns an error listing every
-// workload whose ns/op regressed by more than tolerance (fractional, e.g.
-// 0.15 = +15%). Baseline entries with no current counterpart — and new
-// workloads absent from the baseline — are reported but never fail the
-// gate, so workloads can be added or retired without breaking the build.
+// compareBench measures every workload, diffs ns/op and allocs/op against
+// the baseline at path, and renders a report. It returns an error listing
+// every workload whose ns/op regressed by more than tolerance (fractional,
+// e.g. 0.15 = +15%), or whose allocs/op grew by more than the same
+// fraction — allocation count is deterministic enough to gate tightly,
+// and a regression there is usually a lost pooling or escape-analysis
+// optimisation that ns/op noise can mask. Tiny workloads get an absolute
+// grace of 8 allocs so ±1 alloc on a 10-alloc path doesn't flake the
+// build. Baseline entries with no current counterpart — and new workloads
+// absent from the baseline — are reported but never fail the gate, so
+// workloads can be added or retired without breaking the build.
 func compareBench(baselinePath, reportPath string, tolerance float64, seed uint64) error {
 	baseline, err := loadBaseline(baselinePath)
 	if err != nil {
@@ -206,14 +211,15 @@ func compareBench(baselinePath, reportPath string, tolerance float64, seed uint6
 	}
 
 	var report strings.Builder
-	fmt.Fprintf(&report, "benchmark comparison vs %s (gate: >%+.0f%% ns/op)\n\n", baselinePath, tolerance*100)
-	fmt.Fprintf(&report, "%-40s %14s %14s %9s %12s\n", "workload", "baseline ns/op", "current ns/op", "delta", "clusters/s")
+	fmt.Fprintf(&report, "benchmark comparison vs %s (gate: >%+.0f%% ns/op or allocs/op)\n\n", baselinePath, tolerance*100)
+	fmt.Fprintf(&report, "%-40s %14s %14s %9s %12s %12s %9s\n",
+		"workload", "baseline ns/op", "current ns/op", "delta", "clusters/s", "allocs/op", "Δallocs")
 	var regressions []string
 	for _, c := range current {
 		b, ok := base[c.Name]
 		if !ok {
-			fmt.Fprintf(&report, "%-40s %14s %14d %9s %12.0f  (new workload, not gated)\n",
-				c.Name, "-", c.NsPerOp, "-", c.ClustersPerSec)
+			fmt.Fprintf(&report, "%-40s %14s %14d %9s %12.0f %12d %9s  (new workload, not gated)\n",
+				c.Name, "-", c.NsPerOp, "-", c.ClustersPerSec, c.AllocsPerOp, "-")
 			continue
 		}
 		delta := float64(c.NsPerOp-b.NsPerOp) / float64(b.NsPerOp)
@@ -223,8 +229,17 @@ func compareBench(baselinePath, reportPath string, tolerance float64, seed uint6
 			regressions = append(regressions,
 				fmt.Sprintf("%s: %d -> %d ns/op (%+.1f%%)", c.Name, b.NsPerOp, c.NsPerOp, delta*100))
 		}
-		fmt.Fprintf(&report, "%-40s %14d %14d %+8.1f%% %12.0f%s\n",
-			c.Name, b.NsPerOp, c.NsPerOp, delta*100, c.ClustersPerSec, verdict)
+		allocDelta := 0.0
+		if b.AllocsPerOp > 0 {
+			allocDelta = float64(c.AllocsPerOp-b.AllocsPerOp) / float64(b.AllocsPerOp)
+		}
+		if allocDelta > tolerance && c.AllocsPerOp-b.AllocsPerOp > 8 {
+			verdict = "  REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d -> %d allocs/op (%+.1f%%)", c.Name, b.AllocsPerOp, c.AllocsPerOp, allocDelta*100))
+		}
+		fmt.Fprintf(&report, "%-40s %14d %14d %+8.1f%% %12.0f %12d %+8.1f%%%s\n",
+			c.Name, b.NsPerOp, c.NsPerOp, delta*100, c.ClustersPerSec, c.AllocsPerOp, allocDelta*100, verdict)
 		delete(base, c.Name)
 	}
 	for name := range base {

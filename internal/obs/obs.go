@@ -168,8 +168,14 @@ func splitName(name string) (family, labels string) {
 	return name, ""
 }
 
-// register adds or fetches a series, enforcing one kind per name.
-func (r *Registry) register(name, help string, kind metricKind) *series {
+// register adds or fetches a series, enforcing one kind per name. A new
+// series is fully initialized by init before it becomes visible: series
+// are registered lazily from concurrent paths (per-stage counters from
+// every worker), so the payload must be created under the same lock that
+// publishes the series — a post-publication nil check would let two
+// racing registrants each install their own counter, silently dropping
+// one side's increments.
+func (r *Registry) register(name, help string, kind metricKind, init func(*series)) *series {
 	family, labels := splitName(name)
 	if family == "" {
 		panic("obs: empty metric name")
@@ -183,6 +189,7 @@ func (r *Registry) register(name, help string, kind metricKind) *series {
 		return s
 	}
 	s := &series{name: name, family: family, labels: labels, kind: kind, help: help}
+	init(s)
 	r.series[name] = s
 	return s
 }
@@ -190,44 +197,39 @@ func (r *Registry) register(name, help string, kind metricKind) *series {
 // Counter registers (or fetches) a counter series. name may carry a label
 // block: `jobs_total{outcome="done"}`.
 func (r *Registry) Counter(name, help string) *Counter {
-	s := r.register(name, help, kindCounter)
-	if s.counter == nil {
+	return r.register(name, help, kindCounter, func(s *series) {
 		s.counter = &Counter{}
-	}
-	return s.counter
+	}).counter
 }
 
 // Gauge registers (or fetches) a gauge series.
 func (r *Registry) Gauge(name, help string) *Gauge {
-	s := r.register(name, help, kindGauge)
-	if s.gauge == nil {
+	return r.register(name, help, kindGauge, func(s *series) {
 		s.gauge = &Gauge{}
-	}
-	return s.gauge
+	}).gauge
 }
 
 // GaugeFunc registers a gauge whose value is computed at scrape time —
 // the natural fit for "current depth of X" metrics already guarded by
-// their own synchronization.
+// their own synchronization. Re-registering a name keeps the first fn.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
-	s := r.register(name, help, kindGaugeFunc)
-	s.fn = fn
+	r.register(name, help, kindGaugeFunc, func(s *series) {
+		s.fn = fn
+	})
 }
 
 // Histogram registers (or fetches) a histogram series with the given
 // bucket upper bounds (sorted ascending; +Inf is implicit). Nil or empty
 // buckets take DefBuckets.
 func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
-	s := r.register(name, help, kindHistogram)
-	if s.hist == nil {
+	return r.register(name, help, kindHistogram, func(s *series) {
 		if len(buckets) == 0 {
 			buckets = DefBuckets
 		}
 		bounds := append([]float64(nil), buckets...)
 		sort.Float64s(bounds)
 		s.hist = &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
-	}
-	return s.hist
+	}).hist
 }
 
 // Snapshot returns every scalar series value by full series name.

@@ -289,3 +289,32 @@ func TestLoggerSetup(t *testing.T) {
 		t.Errorf("debug level not honored: %q", buf2.String())
 	}
 }
+
+// TestConcurrentLazyRegistration: many goroutines registering the same
+// not-yet-existing series must converge on one payload. The lazy
+// per-stage counters are registered from every worker concurrently; if
+// the payload were installed after the series is published, two racing
+// registrants could each create a counter and one side's increments
+// would vanish.
+func TestConcurrentLazyRegistration(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 16, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Counter(`lazy_total{stage="x"}`, "test").Inc()
+				r.Histogram(`lazy_seconds{stage="x"}`, "test", []float64{0.5}).Observe(0.1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter(`lazy_total{stage="x"}`, "test").Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d (a racing registration dropped increments)", got, workers*per)
+	}
+	if got := r.Histogram(`lazy_seconds{stage="x"}`, "test", nil).Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+}

@@ -1,0 +1,248 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"dnastore/internal/channel"
+	"dnastore/internal/faults"
+)
+
+// postJobIdem submits a spec with an Idempotency-Key header.
+func postJobIdem(t *testing.T, ts *httptest.Server, spec JobSpec, key string) (*http.Response, Status) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	req, err := http.NewRequest("POST", ts.URL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set(IdempotencyKeyHeader, key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		json.NewDecoder(resp.Body).Decode(&st)
+	}
+	resp.Body.Close()
+	return resp, st
+}
+
+// TestReadyzDrainRetryAfterAgreesWithShed: during drain both the readiness
+// probe and the shed path must answer 503 with the same Retry-After hint —
+// the remainder of the drain window — so a load balancer and a shed client
+// act on one consistent story.
+func TestReadyzDrainRetryAfterAgreesWithShed(t *testing.T) {
+	release := make(chan struct{})
+	var gate sync.Once
+	s := testServer(t, Config{
+		Workers:    1,
+		DrainGrace: 20 * time.Second,
+		KillGrace:  50 * time.Millisecond,
+		WrapSimulation: func(ch channel.Channel, cov channel.CoverageModel) (channel.Channel, channel.CoverageModel) {
+			return faults.SlowChannel{Base: ch, Delay: 5 * time.Millisecond}, cov
+		},
+	})
+	defer gate.Do(func() { close(release) })
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Park a slow job so drain has something in flight, then start the
+	// drain concurrently (Drain blocks until stopped).
+	j, err := s.Submit(simSpec(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return j.State() == StateRunning })
+	go s.Drain()
+	waitFor(t, 5*time.Second, func() bool { return s.Phase() != PhaseServing })
+
+	r, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain = %d, want 503", r.StatusCode)
+	}
+	readyHint, err := strconv.Atoi(r.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("readyz Retry-After %q: %v", r.Header.Get("Retry-After"), err)
+	}
+
+	resp, _ := postJob(t, ts, simSpec(62))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain = %d, want 503", resp.StatusCode)
+	}
+	shedHint, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("shed Retry-After %q: %v", resp.Header.Get("Retry-After"), err)
+	}
+
+	// Both hints come from the drain window. They are sampled a moment
+	// apart, so allow one second of skew.
+	if diff := readyHint - shedHint; diff < -1 || diff > 1 {
+		t.Errorf("readyz hint %d and shed hint %d disagree", readyHint, shedHint)
+	}
+	if readyHint < 1 || readyHint > int(s.cfg.DrainGrace.Seconds()) {
+		t.Errorf("readyz hint %d outside (0, %v]", readyHint, s.cfg.DrainGrace)
+	}
+
+	gate.Do(func() { close(release) })
+}
+
+// TestSubmitExpiredDeadlineFastFails: a submission whose client-supplied
+// deadline already passed is rejected with 504 — not queued — and counted
+// under its own shed reason.
+func TestSubmitExpiredDeadlineFastFails(t *testing.T) {
+	s := testServer(t, Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	spec := simSpec(71)
+	spec.DeadlineUnixMS = time.Now().Add(-time.Second).UnixMilli()
+	resp, _ := postJob(t, ts, spec)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired-deadline submit = %d, want 504", resp.StatusCode)
+	}
+	if got := scrapeMetric(t, ts, `dnasimd_jobs_shed_total{reason="deadline_expired"}`); got != 1 {
+		t.Errorf("deadline_expired shed counter = %v, want 1", got)
+	}
+	if got := scrapeMetric(t, ts, "dnasimd_jobs_submitted_total"); got != 0 {
+		t.Errorf("submitted counter = %v, want 0: the job must not be admitted", got)
+	}
+
+	// A live deadline is admitted and runs normally.
+	spec = simSpec(72)
+	spec.DeadlineUnixMS = time.Now().Add(time.Minute).UnixMilli()
+	resp, st := postJob(t, ts, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("live-deadline submit = %d, want 202", resp.StatusCode)
+	}
+	j, _ := s.Job(st.ID)
+	if fin := awaitTerminal(t, j, 15*time.Second); fin.State != StateDone {
+		t.Errorf("live-deadline job = %v (%s), want done", fin.State, fin.Error)
+	}
+}
+
+// TestDeadlineExpiresWhileQueued: a job admitted with time to spare whose
+// deadline lapses before a worker reaches it must fail fast when popped,
+// not execute for a client that has given up.
+func TestDeadlineExpiresWhileQueued(t *testing.T) {
+	block := make(chan struct{})
+	s := testServer(t, Config{
+		Workers: 1,
+		WrapSimulation: func(ch channel.Channel, cov channel.CoverageModel) (channel.Channel, channel.CoverageModel) {
+			<-block // the first popped job (and any later one) waits here
+			return ch, cov
+		},
+	})
+
+	// Occupy the only worker.
+	blocker, err := s.Submit(simSpec(81))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return blocker.State() == StateRunning })
+
+	// Queue a job with a deadline shorter than the blocker will hold the
+	// worker.
+	spec := simSpec(82)
+	spec.DeadlineUnixMS = time.Now().Add(150 * time.Millisecond).UnixMilli()
+	doomed, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(250 * time.Millisecond)
+	close(block)
+
+	st := awaitTerminal(t, doomed, 10*time.Second)
+	if st.State != StateFailed || st.Attempts != 0 {
+		t.Fatalf("queued-past-deadline job = %v after %d attempts (%s), want failed with 0 attempts",
+			st.State, st.Attempts, st.Error)
+	}
+	if fin := awaitTerminal(t, blocker, 15*time.Second); fin.State != StateDone {
+		t.Errorf("blocker = %v (%s), want done", fin.State, fin.Error)
+	}
+}
+
+// TestSubmitIdempotencyKeyDedupes: retrying a submit with the same
+// Idempotency-Key returns the originally admitted job (200 + replay
+// header) instead of creating a duplicate; a different key creates a
+// fresh job.
+func TestSubmitIdempotencyKeyDedupes(t *testing.T) {
+	s := testServer(t, Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	spec := simSpec(91)
+	resp1, st1 := postJobIdem(t, ts, spec, "key-a")
+	if resp1.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d, want 202", resp1.StatusCode)
+	}
+	resp2, st2 := postJobIdem(t, ts, spec, "key-a")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("replayed submit = %d, want 200", resp2.StatusCode)
+	}
+	if resp2.Header.Get(IdempotencyReplayedHeader) != "true" {
+		t.Error("replayed submit missing replay header")
+	}
+	if st1.ID != st2.ID {
+		t.Fatalf("replay created a duplicate: %s vs %s", st1.ID, st2.ID)
+	}
+	resp3, st3 := postJobIdem(t, ts, spec, "key-b")
+	if resp3.StatusCode != http.StatusAccepted || st3.ID == st1.ID {
+		t.Fatalf("distinct key: status %d id %s, want a fresh 202 job", resp3.StatusCode, st3.ID)
+	}
+
+	if got := scrapeMetric(t, ts, "dnasimd_jobs_submitted_total"); got != 2 {
+		t.Errorf("submitted counter = %v, want 2 (one per distinct key)", got)
+	}
+	if got := scrapeMetric(t, ts, "dnasimd_jobs_idempotent_replays_total"); got != 1 {
+		t.Errorf("replay counter = %v, want 1", got)
+	}
+}
+
+// TestSubmitIdempotencyConcurrentRace: many concurrent submits sharing one
+// key must admit exactly one job — the contract the resilient client's
+// retry loop depends on.
+func TestSubmitIdempotencyConcurrentRace(t *testing.T) {
+	s := testServer(t, Config{QueueCapacity: 64})
+	spec := simSpec(95)
+
+	const n = 16
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			j, _, err := s.SubmitIdempotent("shared", spec)
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			ids[i] = j.ID
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < n; i++ {
+		if ids[i] != ids[0] {
+			t.Fatalf("concurrent same-key submits produced jobs %s and %s", ids[0], ids[i])
+		}
+	}
+	if got := s.Registry().Snapshot()["dnasimd_jobs_submitted_total"]; got != 1 {
+		t.Errorf("submitted counter = %v, want 1", got)
+	}
+}

@@ -2,6 +2,8 @@ package server
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -104,6 +106,79 @@ func TestBreakerHalfOpenAdmitsOneProbe(t *testing.T) {
 	b.record(nil)
 	if st := b.State(); st != BreakerClosed {
 		t.Errorf("state = %v, want closed", st)
+	}
+}
+
+// TestBreakerHalfOpenConcurrentProbes hammers the half-open window: many
+// goroutines race Do the instant the cooldown elapses. Exactly one may
+// execute as the probe; every loser must be shed with ErrBreakerOpen
+// immediately — not block waiting for the probe's verdict — because a shed
+// caller fails fast while a queued one would re-create the pile-up the
+// breaker exists to prevent.
+func TestBreakerHalfOpenConcurrentProbes(t *testing.T) {
+	for _, probeFails := range []bool{false, true} {
+		name := "probe-succeeds"
+		if probeFails {
+			name = "probe-fails"
+		}
+		t.Run(name, func(t *testing.T) {
+			b, clock := newTestBreaker(1, time.Second)
+			b.Do(func() error { return errIO })
+			if st := b.State(); st != BreakerOpen {
+				t.Fatalf("state = %v, want open", st)
+			}
+			clock.advance(time.Second)
+
+			const n = 32
+			var (
+				executed atomic.Int64
+				shed     atomic.Int64
+				start    = make(chan struct{})
+				hold     = make(chan struct{})
+				wg       sync.WaitGroup
+			)
+			wg.Add(n)
+			for i := 0; i < n; i++ {
+				go func() {
+					defer wg.Done()
+					<-start
+					err := b.Do(func() error {
+						executed.Add(1)
+						<-hold // keep the probe in flight while the losers arrive
+						if probeFails {
+							return errIO
+						}
+						return nil
+					})
+					if errors.Is(err, ErrBreakerOpen) {
+						shed.Add(1)
+					}
+				}()
+			}
+			close(start)
+			// Let every goroutine reach its Do call and settle: with the
+			// probe parked on hold, the losers must all have been shed
+			// already. A short sleep is the only way to assert "did not
+			// block".
+			time.Sleep(100 * time.Millisecond)
+			if got := shed.Load(); got != n-1 {
+				t.Errorf("shed %d of %d callers before the probe settled, want %d (losers must fail fast, not queue)",
+					got, n, n-1)
+			}
+			close(hold)
+			wg.Wait()
+
+			if got := executed.Load(); got != 1 {
+				t.Fatalf("%d probes executed, want exactly 1", got)
+			}
+			want := BreakerClosed
+			if probeFails {
+				want = BreakerOpen
+			}
+			if st := b.State(); st != want {
+				t.Errorf("state after %s = %v, want %v", name, st, want)
+			}
+		})
 	}
 }
 

@@ -224,15 +224,44 @@ type JobSpec struct {
 	// TimeoutMS bounds the job's execution (0 means the server default).
 	// The deadline flows into SimulateCtx / RetrieveAdaptive as a context
 	// deadline.
-	TimeoutMS int64         `json:"timeout_ms,omitempty"`
-	Simulate  *SimulateSpec `json:"simulate,omitempty"`
-	Retrieve  *RetrieveSpec `json:"retrieve,omitempty"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// DeadlineUnixMS is an absolute client-supplied deadline (Unix
+	// milliseconds). Unlike TimeoutMS — which starts counting when an
+	// attempt starts — the deadline covers queueing and retries too: a
+	// submission whose deadline has already passed is rejected at
+	// admission (the client is gone; queueing it would waste a slot), and
+	// a queued job whose deadline expires before a worker reaches it
+	// fails fast instead of executing for nobody.
+	DeadlineUnixMS int64         `json:"deadline_unix_ms,omitempty"`
+	Simulate       *SimulateSpec `json:"simulate,omitempty"`
+	Retrieve       *RetrieveSpec `json:"retrieve,omitempty"`
+}
+
+// Deadline returns the absolute deadline, or zero time when unset.
+func (s *JobSpec) Deadline() time.Time {
+	if s.DeadlineUnixMS <= 0 {
+		return time.Time{}
+	}
+	return time.UnixMilli(s.DeadlineUnixMS)
+}
+
+// Fingerprint hashes the whole spec's canonical JSON — the identity used
+// for idempotent resubmission: a client retrying a submit whose response
+// it lost sends the same fingerprint and gets the same job back.
+func (s *JobSpec) Fingerprint() uint64 {
+	b, _ := json.Marshal(s)
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
 }
 
 // Validate checks kind/params consistency.
 func (s *JobSpec) Validate() error {
 	if s.TimeoutMS < 0 {
 		return errors.New("timeout_ms negative")
+	}
+	if s.DeadlineUnixMS < 0 {
+		return errors.New("deadline_unix_ms negative")
 	}
 	switch s.Kind {
 	case KindSimulate:

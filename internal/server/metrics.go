@@ -21,6 +21,8 @@ type serverMetrics struct {
 	submitted    *obs.Counter
 	shedFull     *obs.Counter
 	shedDraining *obs.Counter
+	shedDeadline *obs.Counter
+	idemReplays  *obs.Counter
 	kills        *obs.Counter
 	requeues     *obs.Counter
 	finished     map[JobState]*obs.Counter
@@ -41,6 +43,9 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 	shedHelp := "Submissions shed at admission with 503 + Retry-After, by reason."
 	m.shedFull = reg.Counter(`dnasimd_jobs_shed_total{reason="queue_full"}`, shedHelp)
 	m.shedDraining = reg.Counter(`dnasimd_jobs_shed_total{reason="draining"}`, shedHelp)
+	m.shedDeadline = reg.Counter(`dnasimd_jobs_shed_total{reason="deadline_expired"}`, shedHelp)
+	m.idemReplays = reg.Counter("dnasimd_jobs_idempotent_replays_total",
+		"Submissions answered with an already-admitted job via Idempotency-Key.")
 	m.kills = reg.Counter("dnasimd_watchdog_kills_total",
 		"Attempts killed by the stall watchdog for lack of cluster progress.")
 	m.requeues = reg.Counter("dnasimd_job_requeues_total",

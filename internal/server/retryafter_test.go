@@ -13,6 +13,7 @@ func retryAfterFixture(t *testing.T, est time.Duration, workers, backlog int) *S
 	t.Helper()
 	s := &Server{
 		cfg:   Config{EstimatedJobTime: est, Workers: workers},
+		phase: PhaseServing,
 		queue: newJobQueue(backlog + 1),
 		dog:   newWatchdog(time.Hour, -1, nil),
 	}

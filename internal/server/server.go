@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"log/slog"
 	"math"
 	"net/http"
@@ -112,10 +113,12 @@ type Server struct {
 	slog     *slog.Logger
 	workerWG sync.WaitGroup
 
-	mu     sync.Mutex
-	phase  Phase
-	jobs   map[string]*Job
-	nextID int
+	mu           sync.Mutex
+	phase        Phase
+	jobs         map[string]*Job
+	idem         map[string]string // idempotency key -> job ID
+	nextID       int
+	drainStarted time.Time
 
 	drainOnce sync.Once
 	drained   chan struct{}
@@ -165,6 +168,7 @@ func New(cfg Config) *Server {
 		slog:    cfg.Logger,
 		phase:   PhaseServing,
 		jobs:    make(map[string]*Job),
+		idem:    make(map[string]string),
 		drained: make(chan struct{}),
 	}
 	// Supervision events flow into the metric surface through hooks so the
@@ -222,32 +226,64 @@ func (s *Server) Phase() Phase {
 	return s.phase
 }
 
+// ErrDeadlineExpired is returned by Submit when the spec's client-supplied
+// deadline has already passed at admission time. The HTTP layer maps it to
+// 504: executing the job would burn a queue slot producing a result no one
+// is still waiting for.
+var ErrDeadlineExpired = errors.New("server: job deadline already expired at admission")
+
 // Submit validates and admits a job, returning it, or an admission error
-// (ErrQueueFull / ErrQueueClosed) the HTTP layer maps to 503.
+// (ErrQueueFull / ErrQueueClosed / ErrDeadlineExpired) the HTTP layer maps
+// to 503 / 504.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	j, _, err := s.SubmitIdempotent("", spec)
+	return j, err
+}
+
+// SubmitIdempotent is Submit with an optional idempotency key. A non-empty
+// key that was already admitted returns the existing job with replayed =
+// true instead of creating a duplicate — the contract that makes a client
+// retry of a submit that raced a success safe. The key→job binding is made
+// under the same critical section as admission, so two concurrent submits
+// with the same key can never both create a job.
+func (s *Server) SubmitIdempotent(key string, spec JobSpec) (j *Job, replayed bool, err error) {
 	if err := spec.Validate(); err != nil {
-		return nil, fmt.Errorf("server: invalid job: %w", err)
+		return nil, false, fmt.Errorf("server: invalid job: %w", err)
 	}
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if key != "" {
+		if id, ok := s.idem[key]; ok {
+			if prev, ok := s.jobs[id]; ok && prev.State() != StateCheckpointed {
+				// Replay everything except a checkpointed job: resumable
+				// means "resubmit to continue", so the retry admits a fresh
+				// job (which picks the journal back up) and rebinds the key.
+				return prev, true, nil
+			}
+		}
+	}
+	if ddl := spec.Deadline(); !ddl.IsZero() && !time.Now().Before(ddl) {
+		return nil, false, ErrDeadlineExpired
+	}
 	if s.phase != PhaseServing {
-		s.mu.Unlock()
-		return nil, ErrQueueClosed
+		return nil, false, ErrQueueClosed
 	}
 	s.nextID++
 	id := fmt.Sprintf("j%06d", s.nextID)
-	j := newJob(id, spec)
-	s.jobs[id] = j
-	s.mu.Unlock()
-
+	j = newJob(id, spec)
+	// push happens inside s.mu: it never blocks (the queue is bounded and
+	// sheds instead of waiting), and holding the lock closes the window in
+	// which a racing same-key submit could observe a half-admitted job.
 	if err := s.queue.push(j); err != nil {
-		s.mu.Lock()
-		delete(s.jobs, id)
-		s.mu.Unlock()
-		return nil, err
+		return nil, false, err
+	}
+	s.jobs[id] = j
+	if key != "" {
+		s.idem[key] = id
 	}
 	s.metrics.submitted.Inc()
 	s.slog.Info("job admitted", "job", id, "kind", string(spec.Kind), "queue_depth", s.queue.depth())
-	return j, nil
+	return j, false, nil
 }
 
 // Job returns a submitted job by ID.
@@ -305,6 +341,12 @@ const maxRetryAfterSeconds = 3600
 // EstimatedJobTime) before the float→int conversion, whose behavior is
 // undefined out of range.
 func (s *Server) retryAfter() int {
+	s.mu.Lock()
+	phase, drainStarted := s.phase, s.drainStarted
+	s.mu.Unlock()
+	if phase == PhaseDraining || phase == PhaseStopped {
+		return s.drainRetryAfter(drainStarted)
+	}
 	backlog := s.queue.depth() + s.dog.runningCount()
 	workers := s.cfg.Workers
 	if workers < 1 {
@@ -318,6 +360,27 @@ func (s *Server) retryAfter() int {
 		return maxRetryAfterSeconds
 	}
 	return int(math.Ceil(sec))
+}
+
+// drainRetryAfter is the Retry-After hint for a non-serving instance. The
+// backlog estimate is meaningless here — admission never resumes in this
+// process — so the honest hint is the remainder of the drain window: by
+// then this instance has exited and its replacement (or the load balancer)
+// can take the retry. Both the shed path and /readyz use it, so readiness
+// probes and shed clients hear the same number.
+func (s *Server) drainRetryAfter(drainStarted time.Time) int {
+	rem := s.cfg.DrainGrace
+	if !drainStarted.IsZero() {
+		rem -= time.Since(drainStarted)
+	}
+	sec := math.Ceil(rem.Seconds())
+	switch {
+	case !(sec > 1): // ≤1, or NaN
+		return 1
+	case sec >= maxRetryAfterSeconds:
+		return maxRetryAfterSeconds
+	}
+	return int(sec)
 }
 
 // Drain executes the graceful shutdown state machine:
@@ -334,6 +397,7 @@ func (s *Server) Drain() {
 	s.drainOnce.Do(func() {
 		s.mu.Lock()
 		s.phase = PhaseDraining
+		s.drainStarted = time.Now()
 		s.mu.Unlock()
 		s.logf("drain: admission stopped")
 
@@ -465,11 +529,32 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		"elapsed", time.Since(start).Round(time.Microsecond))
 }
 
-// writeJSON writes a JSON response.
+// BodyChecksumHeader carries an FNV-64a hash (hex) of the response body.
+// HTTP framing protects against truncation but not against bytes flipped
+// in flight that happen to keep the framing valid — a mangled job ID
+// inside otherwise-parseable JSON, or a silently corrupted result
+// payload. The client recomputes the hash over the received body and
+// treats a mismatch as a transport fault to retry, never data to act on.
+const BodyChecksumHeader = "X-Dnasimd-Body-Fnv64a"
+
+// bodyChecksum renders the FNV-64a of a response body for the header.
+func bodyChecksum(b []byte) string {
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// writeJSON writes a JSON response with its body checksum header.
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		buf = []byte(`{"error":"encode response"}`)
+	}
+	buf = append(buf, '\n')
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(BodyChecksumHeader, bodyChecksum(buf))
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
+	w.Write(buf)
 }
 
 // shed answers a rejected submission: 503 with a Retry-After hint, the
@@ -485,6 +570,14 @@ func (s *Server) shed(w http.ResponseWriter, reason string) {
 	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": reason})
 }
 
+// IdempotencyKeyHeader carries the client's submission identity. Retrying
+// a submit with the same key returns the originally admitted job (HTTP 200
+// with IdempotencyReplayedHeader: true) instead of creating a duplicate.
+const (
+	IdempotencyKeyHeader      = "Idempotency-Key"
+	IdempotencyReplayedHeader = "Idempotency-Replayed"
+)
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	body := http.MaxBytesReader(w, r.Body, 64<<20)
@@ -492,7 +585,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("decode job spec: %v", err)})
 		return
 	}
-	j, err := s.Submit(spec)
+	j, replayed, err := s.SubmitIdempotent(r.Header.Get(IdempotencyKeyHeader), spec)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		s.shed(w, "queue full")
@@ -500,8 +593,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrQueueClosed):
 		s.shed(w, "draining")
 		return
+	case errors.Is(err, ErrDeadlineExpired):
+		// 504, not 503: the client's time budget is spent, so "come back
+		// later" would be a lie — there is no Retry-After that helps.
+		s.metrics.shedDeadline.Inc()
+		writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": err.Error()})
+		return
 	case err != nil:
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if replayed {
+		s.metrics.idemReplays.Inc()
+		w.Header().Set(IdempotencyReplayedHeader, "true")
+		writeJSON(w, http.StatusOK, j.Snapshot())
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j.Snapshot())
@@ -530,6 +635,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(BodyChecksumHeader, bodyChecksum(data))
 	w.WriteHeader(http.StatusOK)
 	w.Write(data)
 }

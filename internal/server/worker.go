@@ -65,6 +65,21 @@ func (s *Server) runJob(j *Job) {
 	if timeout <= 0 {
 		timeout = s.cfg.DefaultJobTimeout
 	}
+	// A client-supplied absolute deadline covers queueing too: a job whose
+	// deadline expired while it waited fails fast instead of executing for
+	// a client that has already given up, and otherwise tightens the
+	// attempt timeout to the time actually remaining.
+	if ddl := j.Spec.Deadline(); !ddl.IsZero() {
+		remaining := time.Until(ddl)
+		if remaining <= 0 {
+			cancel(nil)
+			s.finishJob(j, StateFailed, nil, fmt.Errorf("server: job deadline expired while queued: %w", context.DeadlineExceeded))
+			return
+		}
+		if timeout <= 0 || remaining < timeout {
+			timeout = remaining
+		}
+	}
 	ctx := base
 	var cancelTimeout context.CancelFunc = func() {}
 	if timeout > 0 {
