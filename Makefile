@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-race chaos-smoke fuzz-smoke bench bench-check loadcheck
+.PHONY: build test verify verify-race chaos-smoke fuzz-smoke bench bench-check loadcheck fleetcheck
 
 build:
 	$(GO) build ./...
@@ -23,9 +23,10 @@ verify-race:
 # Chaos smoke: the dnasimd job-server drills — injected panics, stalls,
 # overload shedding, breaker trips and the drain/resume cycle — plus the
 # client/proxy drills (resets, slow-loris, blackholes, corrupted bodies,
-# end-to-end conservation), all under the race detector.
+# end-to-end conservation) and the fleet coordinator drills, all under the
+# race detector.
 chaos-smoke:
-	$(GO) test -race -count=1 ./internal/server/... ./internal/client/... ./internal/chaosnet/...
+	$(GO) test -race -count=1 ./internal/server/... ./internal/client/... ./internal/chaosnet/... ./internal/fleet/...
 
 # Short fuzz pass over every parser that consumes on-disk bytes: the
 # durable container reader, the pool loader, the FASTA/FASTQ parsers, and
@@ -61,3 +62,11 @@ bench-check:
 # BENCH_serve.json.
 loadcheck:
 	$(GO) run ./cmd/dnaload -rps 60 -jobs 90 -chaos -out BENCH_serve.json -compare BENCH_serve.json
+
+# Multi-node drill: a coordinator over three worker dnasimd servers with a
+# forced node death mid-shard (plus the hedge and journal-handoff drills),
+# under the race detector. Asserts the merged dataset is byte-identical to
+# a single-node run, the shard ledger balances, re-placed shards resume
+# orphan journals, and a duplicate spec is served from the result cache.
+fleetcheck:
+	$(GO) test -race -count=1 -run 'TestFleetDrill|TestFleetShardHandoffResume' ./internal/fleet/

@@ -15,6 +15,16 @@
 // finish or checkpoint their progress to the durable journal in -data,
 // and the process exits 0. Resubmitting an identical simulation spec
 // against the same -data dir resumes from the journal, byte-identically.
+//
+// With -coordinator the same binary fronts a fleet of worker instances
+// instead of simulating locally: simulate jobs are split into cluster-range
+// shards, placed by rendezvous hashing, cached by shard fingerprint, and
+// merged byte-identically to a single-node run. The API is unchanged, so
+// clients need not know whether they talk to a worker or a fleet:
+//
+//	dnasimd -addr :8081 -data /shared/dnasimd   # worker 1
+//	dnasimd -addr :8082 -data /shared/dnasimd   # worker 2
+//	dnasimd -addr :8080 -coordinator -nodes 'w1=http://localhost:8081,w2=http://localhost:8082'
 package main
 
 import (
@@ -26,9 +36,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"dnastore/internal/fleet"
 	"dnastore/internal/obs"
 	"dnastore/internal/server"
 )
@@ -46,17 +58,48 @@ func main() {
 		brkFails    = flag.Int("breaker-failures", 5, "consecutive I/O failures that trip the circuit breaker")
 		brkCooldown = flag.Duration("breaker-cooldown", 10*time.Second, "open-breaker cooldown before a half-open probe")
 		pprof       = flag.Bool("pprof", false, "mount /debug/pprof/* profiling endpoints (off by default: they expose internals)")
-		logOpts     = obs.LogFlags(flag.CommandLine)
+
+		coordinator   = flag.Bool("coordinator", false, "front a fleet of workers (-nodes) instead of simulating locally")
+		nodes         = flag.String("nodes", "", "coordinator: comma-separated name=url worker list")
+		shardClusters = flag.Int("shard-clusters", 64, "coordinator: clusters per shard")
+		hedgeAfter    = flag.Duration("hedge-after", 0, "coordinator: hedge a straggling shard on the next-ranked node after this long (0 disables)")
+		allowPartial  = flag.Bool("allow-partial", false, "coordinator: deliver a partial dataset with explicit erasure shards instead of failing when placements are exhausted")
+		maxShardAtt   = flag.Int("max-shard-attempts", 0, "coordinator: placements per shard before it counts as lost (0 = 2x node count)")
+		probeInterval = flag.Duration("probe-interval", time.Second, "coordinator: /readyz health-probe cadence (negative disables)")
+		cacheEntries  = flag.Int("cache-entries", 256, "coordinator: shard result cache capacity")
+
+		logOpts = obs.LogFlags(flag.CommandLine)
 	)
 	flag.Parse()
+
+	logger := log.New(os.Stderr, "dnasimd: ", log.LstdFlags)
+	slogger := logOpts.Logger("dnasimd")
+
+	if *coordinator {
+		nodeList, err := parseNodes(*nodes)
+		if err != nil {
+			log.Fatalf("dnasimd: %v", err)
+		}
+		runCoordinator(*addr, fleet.Config{
+			Nodes:            nodeList,
+			ShardClusters:    *shardClusters,
+			MaxShardAttempts: *maxShardAtt,
+			HedgeAfter:       *hedgeAfter,
+			AllowPartial:     *allowPartial,
+			CacheCapacity:    *cacheEntries,
+			ProbeInterval:    *probeInterval,
+			BreakerThreshold: *brkFails,
+			BreakerCooldown:  *brkCooldown,
+			Logger:           slogger,
+		}, logger, *pprof)
+		return
+	}
 
 	if *dataDir != "" {
 		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
 			log.Fatalf("dnasimd: data dir: %v", err)
 		}
 	}
-	logger := log.New(os.Stderr, "dnasimd: ", log.LstdFlags)
-	slogger := logOpts.Logger("dnasimd")
 	srv := server.New(server.Config{
 		QueueCapacity:     *queueCap,
 		Workers:           *workers,
@@ -105,6 +148,69 @@ func main() {
 			logger.Printf("http shutdown: %v", err)
 		}
 		logger.Printf("drained; exiting")
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "dnasimd:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// parseNodes parses the -nodes flag: "name=url[,name=url...]".
+func parseNodes(s string) ([]fleet.NodeConfig, error) {
+	if s == "" {
+		return nil, errors.New("coordinator mode needs -nodes name=url[,name=url...]")
+	}
+	var out []fleet.NodeConfig
+	for _, part := range strings.Split(s, ",") {
+		name, url, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad -nodes entry %q, want name=url", part)
+		}
+		out = append(out, fleet.NodeConfig{Name: name, BaseURL: url})
+	}
+	return out, nil
+}
+
+// runCoordinator serves the fleet coordinator until a shutdown signal.
+// Unlike a worker there is no journal to drain into — shards in flight
+// either finish on their nodes (whose own journals survive a coordinator
+// restart) or are resubmitted by the client against the restarted fleet.
+func runCoordinator(addr string, cfg fleet.Config, logger *log.Logger, pprof bool) {
+	coord, err := fleet.New(cfg)
+	if err != nil {
+		log.Fatalf("dnasimd: %v", err)
+	}
+	handler := http.Handler(coord)
+	if pprof {
+		outer := http.NewServeMux()
+		obs.RegisterPprof(outer)
+		outer.Handle("/", coord)
+		handler = outer
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: handler}
+	errCh := make(chan error, 1)
+	go func() {
+		names := make([]string, len(cfg.Nodes))
+		for i, n := range cfg.Nodes {
+			names[i] = n.Name
+		}
+		logger.Printf("coordinating %d node(s) [%s] on %s (shard=%d clusters, hedge=%s, partial=%v)",
+			len(cfg.Nodes), strings.Join(names, " "), addr, cfg.ShardClusters, cfg.HedgeAfter, cfg.AllowPartial)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
+	select {
+	case sig := <-sigCh:
+		logger.Printf("%s: stopping coordinator", sig)
+		coord.Close()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("http shutdown: %v", err)
+		}
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "dnasimd:", err)

@@ -277,5 +277,16 @@ func (c *Checkpoint) Close() error { return c.j.Close() }
 // arguments, because per-cluster RNGs depend only on (seed, index). A
 // failed Commit surfaces as that cluster's ClusterError.
 func (s Simulator) SimulateCheckpoint(ctx context.Context, name string, refs []dna.Strand, seed uint64, ckpt *Checkpoint) (*dataset.Dataset, error) {
-	return s.simulateWith(ctx, name, refs, seed, ckpt)
+	return s.simulateWith(ctx, name, refs, seed, 0, len(refs), ckpt)
+}
+
+// SimulateRangeCheckpoint is SimulateRangeCtx with durable progress: the
+// cluster-range shard [first, first+count) journals each completed cluster
+// under its global index. Because the journal identity binds to the full
+// reference set and frames carry global indices, a shard journal written
+// by one node can be resumed by another node holding the same spec — the
+// handoff mechanism the fleet coordinator uses when a worker dies
+// mid-shard on a shared data directory.
+func (s Simulator) SimulateRangeCheckpoint(ctx context.Context, name string, refs []dna.Strand, seed uint64, first, count int, ckpt *Checkpoint) (*dataset.Dataset, error) {
+	return s.simulateWith(ctx, name, refs, seed, first, count, ckpt)
 }

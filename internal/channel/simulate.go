@@ -139,29 +139,45 @@ func (s Simulator) Simulate(name string, refs []dna.Strand, seed uint64) *datase
 // Output is byte-identical to Simulate for a run that completes without
 // faults: the same per-cluster RNG split scheme applies.
 func (s Simulator) SimulateCtx(ctx context.Context, name string, refs []dna.Strand, seed uint64) (*dataset.Dataset, error) {
-	return s.simulateWith(ctx, name, refs, seed, nil)
+	return s.simulateWith(ctx, name, refs, seed, 0, len(refs), nil)
 }
 
-// simulateWith is the shared engine behind SimulateCtx (ckpt == nil) and
-// SimulateCheckpoint. Checkpointed clusters are restored without
-// re-simulation; newly completed ones are committed before they count.
-func (s Simulator) simulateWith(ctx context.Context, name string, refs []dna.Strand, seed uint64, ckpt *Checkpoint) (*dataset.Dataset, error) {
+// SimulateRangeCtx simulates only the cluster range [first, first+count)
+// of refs, returning a dataset with exactly count clusters in range order.
+// Every cluster's RNG still derives from its global index, so the
+// concatenation of range datasets covering [0, len(refs)) is byte-identical
+// to one SimulateCtx run over the whole reference set — the property that
+// makes cluster-range sharding across a fleet of nodes merge-safe.
+func (s Simulator) SimulateRangeCtx(ctx context.Context, name string, refs []dna.Strand, seed uint64, first, count int) (*dataset.Dataset, error) {
+	return s.simulateWith(ctx, name, refs, seed, first, count, nil)
+}
+
+// simulateWith is the shared engine behind SimulateCtx and
+// SimulateCheckpoint (and their Range variants): it simulates the cluster
+// range [first, first+count) of refs. Checkpointed clusters are restored
+// without re-simulation; newly completed ones are committed before they
+// count. Checkpoint frames carry global cluster indices, so a shard's
+// journal can be resumed by any node holding the same spec.
+func (s Simulator) simulateWith(ctx context.Context, name string, refs []dna.Strand, seed uint64, first, count int, ckpt *Checkpoint) (*dataset.Dataset, error) {
 	if s.Channel == nil {
 		return nil, fmt.Errorf("channel: Simulator without a Channel")
 	}
 	if s.Coverage == nil {
 		return nil, fmt.Errorf("channel: Simulator without a CoverageModel")
 	}
-	ds := &dataset.Dataset{Name: name, Clusters: make([]dataset.Cluster, len(refs))}
+	if first < 0 || count < 0 || first+count > len(refs) {
+		return nil, fmt.Errorf("channel: cluster range [%d, %d) outside [0, %d)", first, first+count, len(refs))
+	}
+	ds := &dataset.Dataset{Name: name, Clusters: make([]dataset.Cluster, count)}
 	for i := range ds.Clusters {
 		// Pre-fill references so skipped or failed clusters degrade to an
 		// empty cluster rather than a hole.
-		ds.Clusters[i].Ref = refs[i]
+		ds.Clusters[i].Ref = refs[first+i]
 	}
 
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(refs) {
-		workers = len(refs)
+	if workers > count {
+		workers = count
 	}
 	if workers < 1 {
 		workers = 1
@@ -178,7 +194,7 @@ func (s Simulator) simulateWith(ctx context.Context, name string, refs []dna.Str
 	stop := obs.TimerFrom(ctx).Start("channel.simulate")
 	defer func() { stop(int(completed.Load())) }()
 	progress := progressFrom(ctx)
-	total := len(refs)
+	total := count
 	advance := func() {
 		n := completed.Add(1)
 		if progress != nil {
@@ -199,32 +215,33 @@ func (s Simulator) simulateWith(ctx context.Context, name string, refs []dna.Str
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(refs) {
+				li := int(next.Add(1)) - 1
+				if li >= count {
 					return
 				}
 				if ctx.Err() != nil {
 					return
 				}
+				gi := first + li // global cluster index: names the RNG split and journal frame
 				if ckpt != nil {
-					if reads, ok := ckpt.Done(i); ok {
+					if reads, ok := ckpt.Done(gi); ok {
 						// Already journaled by a previous run: restore
 						// verbatim instead of re-simulating.
-						ds.Clusters[i] = dataset.Cluster{Ref: refs[i], Reads: reads}
+						ds.Clusters[li] = dataset.Cluster{Ref: refs[gi], Reads: reads}
 						advance()
 						continue
 					}
 				}
-				if err := s.simulateCluster(ds, refs, i, seed); err != nil {
+				if err := s.simulateCluster(ds, refs, gi, li, seed); err != nil {
 					mu.Lock()
-					clusterErrs = append(clusterErrs, ClusterError{Index: i, Err: err})
+					clusterErrs = append(clusterErrs, ClusterError{Index: gi, Err: err})
 					mu.Unlock()
 					continue
 				}
 				if ckpt != nil {
-					if err := ckpt.Commit(i, ds.Clusters[i].Reads); err != nil {
+					if err := ckpt.Commit(gi, ds.Clusters[li].Reads); err != nil {
 						mu.Lock()
-						clusterErrs = append(clusterErrs, ClusterError{Index: i,
+						clusterErrs = append(clusterErrs, ClusterError{Index: gi,
 							Err: fmt.Errorf("checkpoint commit: %w", err)})
 						mu.Unlock()
 						continue
@@ -241,34 +258,36 @@ func (s Simulator) simulateWith(ctx context.Context, name string, refs []dna.Str
 			Canceled:  ctxErr,
 			Clusters:  clusterErrs,
 			Completed: int(completed.Load()),
-			Total:     len(refs),
+			Total:     count,
 		}
 	}
 	return ds, nil
 }
 
-// simulateCluster generates one cluster's reads, converting a panic in the
-// channel or coverage model into a returned error.
-func (s Simulator) simulateCluster(ds *dataset.Dataset, refs []dna.Strand, i int, seed uint64) (err error) {
+// simulateCluster generates the reads of global cluster gi into dataset
+// slot li, converting a panic in the channel or coverage model into a
+// returned error.
+func (s Simulator) simulateCluster(ds *dataset.Dataset, refs []dna.Strand, gi, li int, seed uint64) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("panic: %v", p)
 		}
 	}()
-	// Per-cluster RNG derived from seed and index keeps output independent
-	// of worker scheduling.
-	r := rng.New(seed ^ (0x9e3779b97f4a7c15 * uint64(i+1)))
+	// Per-cluster RNG derived from seed and global index keeps output
+	// independent of worker scheduling — and of which range shard (if any)
+	// the cluster was simulated in.
+	r := rng.New(seed ^ (0x9e3779b97f4a7c15 * uint64(gi+1)))
 	var n int
 	if ra, ok := s.Coverage.(RefAwareCoverage); ok {
-		n = ra.SampleRef(refs[i], i, r)
+		n = ra.SampleRef(refs[gi], gi, r)
 	} else {
-		n = s.Coverage.Sample(i, r)
+		n = s.Coverage.Sample(gi, r)
 	}
 	reads := make([]dna.Strand, 0, n)
 	for k := 0; k < n; k++ {
-		reads = append(reads, s.Channel.Transmit(refs[i], r))
+		reads = append(reads, s.Channel.Transmit(refs[gi], r))
 	}
-	ds.Clusters[i] = dataset.Cluster{Ref: refs[i], Reads: reads}
+	ds.Clusters[li] = dataset.Cluster{Ref: refs[gi], Reads: reads}
 	return nil
 }
 

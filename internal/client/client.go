@@ -276,6 +276,14 @@ func (c *Client) doOnce(ctx context.Context, method, path string, hdr http.Heade
 			err:      fmt.Errorf("client: %s %s rejected (504): %s", method, path, strings.TrimSpace(string(raw))),
 			deadline: true,
 		}
+	case resp.StatusCode == http.StatusNotImplemented || resp.StatusCode == http.StatusHTTPVersionNotSupported:
+		// Not every 5xx is transient: 501 (the server will never implement
+		// this method) and 505 (it will never speak this protocol version)
+		// describe the request, not the server's moment — retrying burns
+		// the whole backoff budget to arrive at the same answer.
+		return resp, raw, &permanentError{
+			err: fmt.Errorf("client: %s %s: permanent server error %d", method, path, resp.StatusCode),
+		}
 	case resp.StatusCode >= 500:
 		return resp, raw, &transientError{
 			err:           fmt.Errorf("client: %s %s: server error %d", method, path, resp.StatusCode),
@@ -413,6 +421,38 @@ func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
 			err: fmt.Errorf("client: result %s: %d %s", id, resp.StatusCode, strings.TrimSpace(string(raw))),
 		}
 	}
+}
+
+// Ready reports whether the server is currently admitting jobs: one
+// GET /readyz exchange, deliberately without the retry loop — a health
+// probe wants the server's answer right now, and a probe that retries
+// itself healthy defeats the point of probing.
+func (c *Client) Ready(ctx context.Context) error {
+	resp, raw, err := c.doOnce(ctx, http.MethodGet, "/readyz", nil, nil, nil)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: not ready (%d): %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	return nil
+}
+
+// Drainz fetches the server's handoff inventory: the fingerprint-named
+// checkpoint journals sitting in its data directory, ready to be resumed
+// by a peer on a shared data dir (see server.Drainz).
+func (c *Client) Drainz(ctx context.Context) (server.Drainz, error) {
+	var dz server.Drainz
+	resp, raw, err := c.do(ctx, http.MethodGet, "/drainz", nil, nil, &dz)
+	if err != nil {
+		return server.Drainz{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return server.Drainz{}, &permanentError{
+			err: fmt.Errorf("client: drainz: %d %s", resp.StatusCode, strings.TrimSpace(string(raw))),
+		}
+	}
+	return dz, nil
 }
 
 // Cancel requests cancellation of a job.

@@ -388,6 +388,70 @@ func TestResultNotReady(t *testing.T) {
 	}
 }
 
+// TestPermanent5xxNotRetried: 501 and 505 describe the request, not the
+// server's moment — the client must settle them in one attempt instead of
+// burning the whole backoff budget to arrive at the same answer.
+func TestPermanent5xxNotRetried(t *testing.T) {
+	for _, code := range []int{http.StatusNotImplemented, http.StatusHTTPVersionNotSupported} {
+		t.Run(fmt.Sprint(code), func(t *testing.T) {
+			var calls atomic.Int64
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				calls.Add(1)
+				w.WriteHeader(code)
+			}))
+			defer ts.Close()
+			c, log := newTestClient(ts, nil)
+
+			res := c.Run(context.Background(), testSpec(uint64(code)))
+			if res.Outcome != OutcomeServerError {
+				t.Fatalf("outcome = %v, want server-error", res.Outcome)
+			}
+			if n := calls.Load(); n != 1 {
+				t.Errorf("calls = %d, want exactly 1 (no retries)", n)
+			}
+			if waits := log.all(); len(waits) != 0 {
+				t.Errorf("backoffs = %v, want none", waits)
+			}
+		})
+	}
+}
+
+// TestReadySingleExchange: the health probe must report the server's answer
+// from exactly one exchange — a probe that retries itself healthy defeats
+// the point of probing.
+func TestReadySingleExchange(t *testing.T) {
+	var calls atomic.Int64
+	ready := &atomic.Bool{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if r.URL.Path != "/readyz" {
+			t.Errorf("probe hit %s, want /readyz", r.URL.Path)
+		}
+		if !ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"status":"draining"}`)
+			return
+		}
+		fmt.Fprint(w, `{"status":"ok"}`)
+	}))
+	defer ts.Close()
+	c, log := newTestClient(ts, nil)
+
+	if err := c.Ready(context.Background()); err == nil {
+		t.Fatal("Ready() = nil against a draining server")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("calls = %d, want 1 (a probe never retries)", n)
+	}
+	if waits := log.all(); len(waits) != 0 {
+		t.Fatalf("probe slept %v, want no backoff", waits)
+	}
+	ready.Store(true)
+	if err := c.Ready(context.Background()); err != nil {
+		t.Fatalf("Ready() against a serving server: %v", err)
+	}
+}
+
 // TestChecksumMismatchRetries: a framing-valid response whose body hash
 // disagrees with the server's X-Dnasimd-Body-Fnv64a header is corrupted in
 // flight — the client must retry it, not act on the bytes.

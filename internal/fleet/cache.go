@@ -1,0 +1,93 @@
+package fleet
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// resultCache is the content-addressed shard result cache with
+// single-flight deduplication. Keys are shard-spec fingerprints — the
+// range fields ride the fingerprint, so (shard range, spec) addresses the
+// bytes. Entries are immutable once filled: a spec is deterministic by
+// construction (every stochastic choice derives from seed and global
+// cluster index), so the first successful computation of a key is the
+// only possible value and can be shared forever.
+//
+// Single-flight: concurrent requests for one key share a single
+// computation — the first caller computes, the rest wait on the entry.
+// Failures are never cached; the failed entry is removed so the next
+// request computes afresh (on a healthier node, typically).
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	ent map[uint64]*cacheEntry
+	// fifo tracks filled entries in completion order for eviction. FIFO
+	// rather than LRU on purpose: entries are immutable and equally cheap
+	// to recompute, and a duplicate-spec replay hits recent keys anyway.
+	fifo *list.List // of uint64 keys
+}
+
+type cacheEntry struct {
+	ready chan struct{} // closed when data/err are set
+	data  []byte
+	err   error
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &resultCache{cap: capacity, ent: make(map[uint64]*cacheEntry), fifo: list.New()}
+}
+
+// do returns the cached bytes for key, or computes them exactly once per
+// concurrent flight. hit reports whether this caller was served by someone
+// else's (finished or in-flight) computation.
+func (c *resultCache) do(ctx context.Context, key uint64, compute func() ([]byte, error)) (data []byte, hit bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.ent[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		if e.err != nil {
+			// The flight this caller joined failed; report the failure
+			// without recording a hit — shared misery is not a cache hit.
+			return nil, false, e.err
+		}
+		return e.data, true, nil
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.ent[key] = e
+	c.mu.Unlock()
+
+	e.data, e.err = compute()
+	c.mu.Lock()
+	if e.err != nil {
+		// Never cache a failure: the next request should get a fresh
+		// attempt, not a replay of a dead node's refusal.
+		delete(c.ent, key)
+	} else {
+		c.fifo.PushBack(key)
+		for c.fifo.Len() > c.cap {
+			old := c.fifo.Remove(c.fifo.Front()).(uint64)
+			delete(c.ent, old)
+		}
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	if e.err != nil {
+		return nil, false, e.err
+	}
+	return e.data, false, nil
+}
+
+// len returns the number of cached (or in-flight) entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.ent)
+}

@@ -1,0 +1,406 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sync"
+	"time"
+
+	"dnastore/internal/client"
+	"dnastore/internal/server"
+)
+
+// The coordinator's HTTP façade mirrors a single dnasimd instance —
+// POST /v1/jobs (with Idempotency-Key replay), GET status, GET result
+// (409 + X-Job-State while running), DELETE cancel, /healthz, /readyz,
+// /metrics — so internal/client and cmd/dnaload drive a fleet unchanged.
+// Simulate jobs fan out across the fleet; retrieve jobs pass through to
+// one node picked by rendezvous on the spec fingerprint.
+
+// fleetJob is one job admitted by the façade.
+type fleetJob struct {
+	id      string
+	spec    server.JobSpec
+	created time.Time
+
+	mu     sync.Mutex
+	state  server.JobState
+	result []byte
+	report Report
+	err    error
+	cancel context.CancelCauseFunc
+	done   chan struct{}
+}
+
+func (j *fleetJob) snapshot() server.Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := server.Status{ID: j.id, Kind: j.spec.Kind, State: j.state}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+func (j *fleetJob) finish(state server.JobState, result []byte, rep Report, err error) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
+	j.state = state
+	j.result = result
+	j.report = rep
+	j.err = err
+	j.cancel = nil
+	close(j.done)
+	return true
+}
+
+// errFacadeCanceled is the cancel cause for DELETE /v1/jobs/{id}.
+var errFacadeCanceled = errors.New("fleet: canceled by client")
+
+// routes builds the façade mux.
+func (c *Coordinator) routes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", c.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", c.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", c.handleReport)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleCancel)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /readyz", c.handleReadyz)
+	mux.Handle("GET /metrics", c.cfg.Registry.Handler())
+	c.mux = mux
+}
+
+// ServeHTTP implements http.Handler.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mux.ServeHTTP(w, r)
+}
+
+// writeJSON mirrors the server's response discipline: JSON body plus the
+// FNV-64a body checksum header the client verifies end to end.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		buf = []byte(`{"error":"encode response"}`)
+	}
+	buf = append(buf, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(server.BodyChecksumHeader, bodyChecksum(buf))
+	w.WriteHeader(code)
+	w.Write(buf)
+}
+
+func bodyChecksum(b []byte) string {
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Submit admits a job and starts executing it across the fleet. The
+// idempotency contract matches the single-node server: a repeated key
+// replays the admitted job instead of re-running the work — and because
+// shard results are content-addressed, even a duplicate submission under
+// a fresh key costs only cache lookups.
+func (c *Coordinator) Submit(key string, spec server.JobSpec) (j *fleetJob, replayed bool, err error) {
+	if err := spec.Validate(); err != nil {
+		return nil, false, fmt.Errorf("fleet: invalid job: %w", err)
+	}
+	if spec.Kind == server.KindSimulate && (spec.Simulate.ClusterFirst != 0 || spec.Simulate.ClusterCount != 0) {
+		return nil, false, errors.New("fleet: invalid job: spec already carries a cluster range; the coordinator owns the split")
+	}
+	c.mu.Lock()
+	if key != "" {
+		if id, ok := c.idem[key]; ok {
+			if prev, ok := c.jobs[id]; ok {
+				c.mu.Unlock()
+				c.metrics.idemReplays.Inc()
+				return prev, true, nil
+			}
+		}
+	}
+	if ddl := spec.Deadline(); !ddl.IsZero() && !time.Now().Before(ddl) {
+		c.mu.Unlock()
+		return nil, false, server.ErrDeadlineExpired
+	}
+	c.nextID++
+	j = &fleetJob{
+		id:      fmt.Sprintf("f%06d", c.nextID),
+		spec:    spec,
+		created: time.Now(),
+		state:   server.StateQueued,
+		done:    make(chan struct{}),
+	}
+	c.jobs[j.id] = j
+	if key != "" {
+		c.idem[key] = j.id
+	}
+	c.mu.Unlock()
+	c.metrics.submitted.Inc()
+	c.slog.Info("job admitted", "job", j.id, "kind", string(spec.Kind))
+	go c.runJob(j)
+	return j, false, nil
+}
+
+// runningJobs counts façade jobs not yet terminal (the dnasimd_jobs_running
+// gauge; the façade has no queue, so queued ≡ about-to-run).
+func (c *Coordinator) runningJobs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, j := range c.jobs {
+		j.mu.Lock()
+		if !j.state.Terminal() {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
+}
+
+// runJob drives one admitted job to a terminal state.
+func (c *Coordinator) runJob(j *fleetJob) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	if ddl := j.spec.Deadline(); !ddl.IsZero() {
+		dctx, dcancel := context.WithDeadline(ctx, ddl)
+		defer dcancel()
+		ctx = dctx
+	} else if j.spec.TimeoutMS > 0 {
+		tctx, tcancel := context.WithTimeout(ctx, time.Duration(j.spec.TimeoutMS)*time.Millisecond)
+		defer tcancel()
+		ctx = tctx
+	}
+	j.mu.Lock()
+	if j.state.Terminal() { // canceled before the goroutine started
+		j.mu.Unlock()
+		return
+	}
+	j.state = server.StateRunning
+	j.cancel = cancel
+	j.mu.Unlock()
+
+	var data []byte
+	var rep Report
+	var err error
+	switch j.spec.Kind {
+	case server.KindSimulate:
+		data, rep, err = c.Simulate(ctx, *j.spec.Simulate)
+	case server.KindRetrieve:
+		data, err = c.passthrough(ctx, j.spec)
+	default:
+		err = fmt.Errorf("fleet: unsupported job kind %q", j.spec.Kind)
+	}
+
+	state := server.StateDone
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled) || errors.Is(context.Cause(ctx), errFacadeCanceled):
+		state, data = server.StateCanceled, nil
+	default:
+		state, data = server.StateFailed, nil
+	}
+	if j.finish(state, data, rep, err) {
+		if cnt := c.metrics.finished[state]; cnt != nil {
+			cnt.Inc()
+		}
+		attrs := []any{"job", j.id, "state", string(state),
+			"elapsed", time.Since(j.created).Round(time.Millisecond)}
+		if err != nil {
+			attrs = append(attrs, "error", err.Error())
+		}
+		c.slog.Info("job finished", attrs...)
+	}
+}
+
+// passthrough runs a non-shardable job on one node, picked by rendezvous
+// on the job fingerprint so repeated submissions land on the same node's
+// caches and journals. Failed placements retry on the next-ranked node.
+func (c *Coordinator) passthrough(ctx context.Context, spec server.JobSpec) ([]byte, error) {
+	ranked := rank(c.nodes, spec.Fingerprint())
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxShardAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		n := ranked[attempt%len(ranked)]
+		if !n.eligible() && attempt < c.cfg.MaxShardAttempts-1 {
+			continue
+		}
+		res := n.cli.Run(ctx, spec)
+		if res.Outcome == client.OutcomeSucceeded {
+			return res.Data, nil
+		}
+		lastErr = fmt.Errorf("fleet: %s on %s settled %s: %w", spec.Kind, n.name, res.Outcome, res.Err)
+	}
+	return nil, lastErr
+}
+
+func (c *Coordinator) job(id string) (*fleetJob, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	return j, ok
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec server.JobSpec
+	body := http.MaxBytesReader(w, r.Body, 64<<20)
+	if err := json.NewDecoder(body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("decode job spec: %v", err)})
+		return
+	}
+	j, replayed, err := c.Submit(r.Header.Get(server.IdempotencyKeyHeader), spec)
+	switch {
+	case errors.Is(err, server.ErrDeadlineExpired):
+		writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if replayed {
+		w.Header().Set(server.IdempotencyReplayedHeader, "true")
+		writeJSON(w, http.StatusOK, j.snapshot())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job"})
+		return
+	}
+	j.mu.Lock()
+	state, data := j.state, j.result
+	j.mu.Unlock()
+	w.Header().Set("X-Job-State", string(state))
+	if state != server.StateDone {
+		writeJSON(w, http.StatusConflict, j.snapshot())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(server.BodyChecksumHeader, bodyChecksum(data))
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// handleReport serves the per-shard report of a finished simulate job —
+// the erasure account a degraded completion promises its caller.
+func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job"})
+		return
+	}
+	j.mu.Lock()
+	state, rep := j.state, j.report
+	j.mu.Unlock()
+	w.Header().Set("X-Job-State", string(state))
+	if !state.Terminal() {
+		writeJSON(w, http.StatusConflict, j.snapshot())
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job"})
+		return
+	}
+	j.mu.Lock()
+	switch {
+	case j.state.Terminal():
+		j.mu.Unlock()
+	case j.state == server.StateQueued:
+		// The executor goroutine has not taken the job yet; settle it here
+		// and the goroutine's terminal check makes its start a no-op.
+		transitioned := false
+		if !j.state.Terminal() {
+			j.state = server.StateCanceled
+			j.err = errFacadeCanceled
+			close(j.done)
+			transitioned = true
+		}
+		j.mu.Unlock()
+		if transitioned {
+			if cnt := c.metrics.finished[server.StateCanceled]; cnt != nil {
+				cnt.Inc()
+			}
+		}
+	default:
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel(errFacadeCanceled)
+		}
+	}
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// NodeHealth is one node's entry in the /healthz payload.
+type NodeHealth struct {
+	Name     string              `json:"name"`
+	Healthy  bool                `json:"healthy"`
+	Breaker  server.BreakerState `json:"breaker"`
+	Eligible bool                `json:"eligible"`
+}
+
+// FleetHealth is the /healthz payload: the coordinator is "serving" as
+// long as the process runs; per-node eligibility tells the real story.
+type FleetHealth struct {
+	Phase server.Phase `json:"phase"`
+	Nodes []NodeHealth `json:"nodes"`
+	Jobs  int          `json:"jobs"`
+}
+
+// HealthSnapshot returns the coordinator's fleet-wide health view.
+func (c *Coordinator) HealthSnapshot() FleetHealth {
+	c.mu.Lock()
+	jobs := len(c.jobs)
+	c.mu.Unlock()
+	h := FleetHealth{Phase: server.PhaseServing, Jobs: jobs}
+	for _, n := range c.nodes {
+		h.Nodes = append(h.Nodes, NodeHealth{
+			Name: n.name, Healthy: n.healthy.Load(),
+			Breaker: n.brk.State(), Eligible: n.eligible(),
+		})
+	}
+	return h
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.HealthSnapshot())
+}
+
+// handleReadyz: the coordinator can take work while at least one node is
+// eligible; with zero eligible nodes every shard would ride the last-resort
+// placement path, so readiness honestly says no.
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	for _, n := range c.nodes {
+		if n.eligible() {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+			return
+		}
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no eligible nodes"})
+}

@@ -1,0 +1,72 @@
+package fleet
+
+import (
+	"dnastore/internal/obs"
+	"dnastore/internal/server"
+)
+
+// The fleet's metric surface. Two groups share one registry:
+//
+//   - dnasimd_fleet_*: coordinator-specific series — shard placement,
+//     cache effectiveness, hedging, erasures.
+//   - dnasimd_jobs_* / dnasimd_queue_depth / dnasimd_jobs_running: the
+//     same series a single dnasimd instance exports, fed by the HTTP
+//     façade. dnaload's settle-and-reconcile logic reads exactly these
+//     names, so a coordinator is a drop-in load-test target.
+type fleetMetrics struct {
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	replacements *obs.Counter
+	hedgesFired  *obs.Counter
+	shardsErased *obs.Counter
+	shardsDone   *obs.Counter
+
+	submitted   *obs.Counter
+	idemReplays *obs.Counter
+	finished    map[server.JobState]*obs.Counter
+}
+
+func newFleetMetrics(c *Coordinator, reg *obs.Registry) *fleetMetrics {
+	m := &fleetMetrics{}
+	m.cacheHits = reg.Counter("dnasimd_fleet_cache_hits_total",
+		"Shard requests served from the content-addressed result cache (finished or in-flight).")
+	m.cacheMisses = reg.Counter("dnasimd_fleet_cache_misses_total",
+		"Shard requests that had to compute on a worker node.")
+	m.replacements = reg.Counter("dnasimd_fleet_shard_replacements_total",
+		"Shards re-placed on a different node after their placed node failed them.")
+	m.hedgesFired = reg.Counter("dnasimd_fleet_hedges_fired_total",
+		"Hedged backup requests launched against straggling shards.")
+	m.shardsErased = reg.Counter("dnasimd_fleet_shards_erased_total",
+		"Shards abandoned after every placement attempt failed (degraded completion).")
+	m.shardsDone = reg.Counter("dnasimd_fleet_shards_completed_total",
+		"Shards merged into a result (cache hits included, erasures excluded).")
+
+	m.submitted = reg.Counter("dnasimd_jobs_submitted_total",
+		"Jobs admitted by the coordinator facade.")
+	m.idemReplays = reg.Counter("dnasimd_jobs_idempotent_replays_total",
+		"Submissions answered with an already-admitted job via Idempotency-Key.")
+	finHelp := "Jobs reaching a terminal state, by outcome."
+	m.finished = map[server.JobState]*obs.Counter{
+		server.StateDone:     reg.Counter(`dnasimd_jobs_finished_total{outcome="done"}`, finHelp),
+		server.StateFailed:   reg.Counter(`dnasimd_jobs_finished_total{outcome="failed"}`, finHelp),
+		server.StateCanceled: reg.Counter(`dnasimd_jobs_finished_total{outcome="canceled"}`, finHelp),
+	}
+
+	reg.GaugeFunc("dnasimd_fleet_nodes_eligible", "Worker nodes currently healthy with a non-open breaker.",
+		func() float64 {
+			n := 0
+			for _, nd := range c.nodes {
+				if nd.eligible() {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("dnasimd_fleet_cache_entries", "Entries in the shard result cache (in-flight included).",
+		func() float64 { return float64(c.cache.len()) })
+	reg.GaugeFunc("dnasimd_queue_depth", "Jobs admitted but not yet executing (the facade runs jobs immediately, so 0).",
+		func() float64 { return 0 })
+	reg.GaugeFunc("dnasimd_jobs_running", "Facade jobs currently executing across the fleet.",
+		func() float64 { return float64(c.runningJobs()) })
+	return m
+}

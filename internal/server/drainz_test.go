@@ -1,0 +1,73 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestDrainzListsJournals: /drainz must inventory every fingerprint-named
+// checkpoint journal in the data dir — annotating the ones bound to jobs
+// this process knows, and listing the rest as orphans ready for handoff —
+// while ignoring files that are not shard journals.
+func TestDrainzListsJournals(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{Workers: 1, DataDir: dir, StallAfter: -1})
+	defer s.Drain()
+
+	// A known job: submit a spec, then fabricate its journal file the way a
+	// checkpointing run would have left it. The job itself finishes fast, so
+	// wait for a terminal state to keep the annotation deterministic.
+	spec := JobSpec{Kind: KindSimulate, Simulate: &SimulateSpec{
+		NumRefs: 2, RefLen: 20, Seed: 9, Sub: 0.01, Coverage: 1,
+	}}
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !j.State().Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", j.State())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	known := fmt.Sprintf("sim-%016x.ckpt", spec.Simulate.Fingerprint())
+	orphan := "sim-0123456789abcdef.ckpt"
+	for _, name := range []string{known, orphan, "pool.dat", "sim-short.ckpt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest("GET", "/drainz", nil))
+	if w.Code != 200 {
+		t.Fatalf("GET /drainz = %d", w.Code)
+	}
+	var dz Drainz
+	if err := json.Unmarshal(w.Body.Bytes(), &dz); err != nil {
+		t.Fatalf("decode drainz: %v", err)
+	}
+	if dz.DataDir != dir || dz.Phase != PhaseServing {
+		t.Errorf("drainz header = %+v", dz)
+	}
+	if len(dz.Journals) != 2 {
+		t.Fatalf("journals = %+v, want exactly the two sim-*.ckpt entries", dz.Journals)
+	}
+	byFP := map[string]DrainJournal{}
+	for _, dj := range dz.Journals {
+		byFP[dj.Fingerprint] = dj
+	}
+	if dj := byFP["0123456789abcdef"]; dj.File != orphan || dj.JobID != "" || dj.State != "" {
+		t.Errorf("orphan journal = %+v, want no job binding", dj)
+	}
+	fp := fmt.Sprintf("%016x", spec.Simulate.Fingerprint())
+	if dj := byFP[fp]; dj.JobID != j.ID || dj.State != string(j.State()) {
+		t.Errorf("known journal = %+v, want bound to job %s in state %s", dj, j.ID, j.State())
+	}
+}

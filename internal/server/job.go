@@ -82,6 +82,32 @@ type SimulateSpec struct {
 	CoverageModel string  `json:"coverage_model,omitempty"`
 	// Faults is a fault-injection spec in the -faults DSL.
 	Faults string `json:"faults,omitempty"`
+	// ClusterFirst and ClusterCount select a cluster-range shard: only
+	// clusters [ClusterFirst, ClusterFirst+ClusterCount) are simulated,
+	// against the full reference set, with per-cluster RNGs derived from
+	// global indices. A zero ClusterCount means the whole set. The fleet
+	// coordinator splits a spec into such shards and merges the results
+	// byte-identically; the range is part of the fingerprint, so each
+	// shard gets its own checkpoint journal.
+	ClusterFirst int `json:"cluster_first,omitempty"`
+	ClusterCount int `json:"cluster_count,omitempty"`
+}
+
+// NumClusters is the total cluster count of the full (unsharded) spec.
+func (sp *SimulateSpec) NumClusters() int {
+	if len(sp.Refs) > 0 {
+		return len(sp.Refs)
+	}
+	return sp.NumRefs
+}
+
+// ShardRange resolves the cluster range this spec covers: the explicit
+// shard range when set, the whole set otherwise.
+func (sp *SimulateSpec) ShardRange() (first, count int) {
+	if sp.ClusterCount > 0 {
+		return sp.ClusterFirst, sp.ClusterCount
+	}
+	return 0, sp.NumClusters()
 }
 
 // Validate checks the spec and applies defaults.
@@ -118,6 +144,15 @@ func (sp *SimulateSpec) Validate() error {
 	}
 	if _, err := faults.ParseSpec(sp.Faults); err != nil {
 		return err
+	}
+	switch {
+	case sp.ClusterFirst < 0 || sp.ClusterCount < 0:
+		return fmt.Errorf("cluster range [%d, +%d) negative", sp.ClusterFirst, sp.ClusterCount)
+	case sp.ClusterCount == 0 && sp.ClusterFirst > 0:
+		return errors.New("cluster_first without cluster_count")
+	case sp.ClusterCount > 0 && sp.ClusterFirst+sp.ClusterCount > sp.NumClusters():
+		return fmt.Errorf("cluster range [%d, %d) outside [0, %d)",
+			sp.ClusterFirst, sp.ClusterFirst+sp.ClusterCount, sp.NumClusters())
 	}
 	return nil
 }

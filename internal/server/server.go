@@ -498,6 +498,7 @@ func (s *Server) routes() {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /drainz", s.handleDrainz)
 	mux.Handle("GET /metrics", s.cfg.Registry.Handler())
 	s.mux = mux
 }

@@ -293,6 +293,7 @@ func (s *Server) executeSimulate(ctx context.Context, j *Job) jobOutcome {
 		ch, cov = s.cfg.WrapSimulation(ch, cov)
 	}
 	refs := spec.References()
+	first, count := spec.ShardRange()
 	sim := channel.Simulator{Channel: ch, Coverage: cov}
 
 	// One journal handle lives on the job across attempts: an abandoned
@@ -318,8 +319,8 @@ func (s *Server) executeSimulate(ctx context.Context, j *Job) jobOutcome {
 		j.ckpt = ckpt
 		j.mu.Unlock()
 		if n := ckpt.Completed(); n > 0 {
-			s.logf("job %s resuming: %d/%d clusters journaled", j.ID, n, len(refs))
-			j.setProgress(n, len(refs))
+			s.logf("job %s resuming: %d/%d clusters journaled", j.ID, n, count)
+			j.setProgress(n, count)
 		}
 	}
 
@@ -328,9 +329,9 @@ func (s *Server) executeSimulate(ctx context.Context, j *Job) jobOutcome {
 		simErr error
 	)
 	if ckpt != nil {
-		ds, simErr = sim.SimulateCheckpoint(ctx, "simulated", refs, spec.Seed, ckpt)
+		ds, simErr = sim.SimulateRangeCheckpoint(ctx, "simulated", refs, spec.Seed, first, count, ckpt)
 	} else {
-		ds, simErr = sim.SimulateCtx(ctx, "simulated", refs, spec.Seed)
+		ds, simErr = sim.SimulateRangeCtx(ctx, "simulated", refs, spec.Seed, first, count)
 	}
 	if simErr != nil {
 		var se *channel.SimulationError
