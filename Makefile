@@ -53,20 +53,24 @@ bench:
 bench-check:
 	$(GO) run ./cmd/dnabench -compare BENCH_sim.json -compare-report BENCH_compare.txt
 
-# Capacity & conservation gate: drive the dnasimd server through the
-# chaosnet fault proxy at a fixed open-loop arrival rate, fail hard on any
-# lost / duplicated / corrupted job, refresh BENCH_serve.json, and fail on
-# capacity regression against the committed baseline (dnaload reads the
-# baseline before rewriting the file, so one run both measures and gates).
-# After an intentional capacity change, re-run and commit the refreshed
-# BENCH_serve.json.
+# Capacity & conservation gate, two entries in BENCH_serve.json: the
+# single dnasimd server driven through the chaosnet fault proxy, and a
+# 3-node fleet coordinator (crash-consistent ledger + spill on a temp
+# dir). Both fail hard on any lost / duplicated / corrupted job, refresh
+# their entry, and fail on capacity regression against the committed
+# baseline (dnaload reads the baseline before rewriting the file, so one
+# run both measures and gates). After an intentional capacity change,
+# re-run and commit the refreshed BENCH_serve.json.
 loadcheck:
 	$(GO) run ./cmd/dnaload -rps 60 -jobs 90 -chaos -out BENCH_serve.json -compare BENCH_serve.json
+	$(GO) run ./cmd/dnaload -rps 40 -jobs 60 -fleet-nodes 3 -out BENCH_serve.json -compare BENCH_serve.json
 
-# Multi-node drill: a coordinator over three worker dnasimd servers with a
-# forced node death mid-shard (plus the hedge and journal-handoff drills),
-# under the race detector. Asserts the merged dataset is byte-identical to
-# a single-node run, the shard ledger balances, re-placed shards resume
-# orphan journals, and a duplicate spec is served from the result cache.
+# Multi-node drills under the race detector: a coordinator over worker
+# dnasimd servers with a forced node death mid-shard (plus the hedge and
+# journal-handoff drills), and the kill-restart drill — the real dnasimd
+# coordinator binary SIGKILLed mid-job, restarted on the same -data-dir,
+# and required to finish the job byte-identically under its old ID with
+# pre-kill shards served from the durable spill, every ledger and spill
+# file scrubbing clean afterwards.
 fleetcheck:
 	$(GO) test -race -count=1 -run 'TestFleetDrill|TestFleetShardHandoffResume' ./internal/fleet/

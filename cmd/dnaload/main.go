@@ -22,6 +22,13 @@
 //	dnaload -out BENCH_serve.json -compare BENCH_serve.json
 //	                                          # emit + regression gate
 //	dnaload -target http://host:8080 -rps 200 # drive an external server
+//	dnaload -fleet-nodes 3 -rps 40 -jobs 60   # drive an in-process 3-node fleet
+//
+// With -fleet-nodes the harness stands up N in-process worker servers plus
+// a crash-consistent fleet coordinator (ledger + spill on a temp dir) and
+// drives the coordinator instead — same arrivals, same conservation gate,
+// recorded as a separate "fleet" entry in the report so single-node and
+// fleet capacity regress independently.
 package main
 
 import (
@@ -39,6 +46,7 @@ import (
 
 	"dnastore/internal/chaosnet"
 	"dnastore/internal/client"
+	"dnastore/internal/fleet"
 	"dnastore/internal/server"
 )
 
@@ -48,6 +56,7 @@ func main() {
 		jobs       = flag.Int("jobs", 90, "total arrivals to fire")
 		seed       = flag.Uint64("seed", 1, "seed for the traffic mix and chaos schedule")
 		target     = flag.String("target", "", "drive an external dnasimd base URL instead of an in-process server")
+		fleetNodes = flag.Int("fleet-nodes", 0, "drive an in-process fleet coordinator over this many worker nodes instead of a single server (0 disables)")
 		chaos      = flag.Bool("chaos", false, "route traffic through the chaosnet fault proxy")
 		bhPeriod   = flag.Duration("blackhole-period", 2*time.Second, "with -chaos: blackhole window period")
 		bhFor      = flag.Duration("blackhole-for", 400*time.Millisecond, "with -chaos: blackhole window length")
@@ -67,13 +76,21 @@ func main() {
 	)
 	flag.Parse()
 
+	// Each measurement lands as a named entry in the report file: "single"
+	// for the one-server drive, "fleet" for the coordinator drive. The
+	// regression gate compares like against like.
+	entryName := "single"
+	if *fleetNodes > 0 {
+		entryName = "fleet"
+	}
+
 	// Read the baseline before anything can overwrite it: -out and
 	// -compare may (deliberately) name the same committed file, so one
 	// invocation both refreshes the measurement and gates against the
 	// previous one.
 	var baseline *loadReport
 	if *compare != "" {
-		b, err := loadLoadBaseline(*compare)
+		b, err := loadLoadBaseline(*compare, entryName)
 		if err != nil {
 			fail(err)
 		}
@@ -83,15 +100,68 @@ func main() {
 	cfg := loadConfig{
 		RPS: *rps, Jobs: *jobs, Seed: *seed, Chaos: *chaos,
 		HugeFrac: *hugeFrac, DupFrac: *dupFrac, CancelFrac: *cancelFrac,
-		Workers: *workers, Queue: *queueCap,
+		Workers: *workers, Queue: *queueCap, FleetNodes: *fleetNodes,
 	}
 
 	// Wire the target: an in-process server by default (its registry is
-	// the conservation ground truth), or an external base URL whose
-	// /metrics endpoint is scraped over HTTP.
+	// the conservation ground truth), an in-process fleet coordinator with
+	// -fleet-nodes, or an external base URL whose /metrics endpoint is
+	// scraped over HTTP.
 	baseURL := *target
 	var metrics metricsSource
-	if *target == "" {
+	switch {
+	case *target != "":
+		metrics = scrapeMetrics(*target + "/metrics")
+	case *fleetNodes > 0:
+		if *chaos {
+			fail(fmt.Errorf("-chaos is not supported with -fleet-nodes; chaosnet drills the single-node transport"))
+		}
+		var nodeCfgs []fleet.NodeConfig
+		for i := 0; i < *fleetNodes; i++ {
+			wsrv := server.New(server.Config{
+				QueueCapacity: *queueCap,
+				Workers:       *workers,
+				Logf:          func(string, ...any) {},
+			})
+			wln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fail(err)
+			}
+			whs := &http.Server{Handler: wsrv}
+			go whs.Serve(wln)
+			defer whs.Close()
+			nodeCfgs = append(nodeCfgs, fleet.NodeConfig{
+				Name: fmt.Sprintf("w%d", i+1), BaseURL: "http://" + wln.Addr().String(),
+			})
+		}
+		fleetDir, err := os.MkdirTemp("", "dnaload-fleet")
+		if err != nil {
+			fail(err)
+		}
+		defer os.RemoveAll(fleetDir)
+		coord, err := fleet.New(fleet.Config{
+			Nodes: nodeCfgs,
+			// Coarse shards under load: the ledger fsyncs per job, not per
+			// shard, but placement and polling are per shard — 1000-cluster
+			// shards keep a huge spec to a handful of worker round-trips.
+			ShardClusters: 1000,
+			DataDir:       fleetDir,
+			Client:        client.Config{PollInterval: 10 * time.Millisecond, Seed: *seed},
+		})
+		if err != nil {
+			fail(err)
+		}
+		defer coord.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fail(err)
+		}
+		hs := &http.Server{Handler: coord}
+		go hs.Serve(ln)
+		defer hs.Close()
+		baseURL = "http://" + ln.Addr().String()
+		metrics = func() (map[string]float64, error) { return coord.Registry().Snapshot(), nil }
+	default:
 		srv := server.New(server.Config{
 			QueueCapacity: *queueCap,
 			Workers:       *workers,
@@ -106,8 +176,6 @@ func main() {
 		defer hs.Close()
 		baseURL = "http://" + ln.Addr().String()
 		metrics = func() (map[string]float64, error) { return srv.Registry().Snapshot(), nil }
-	} else {
-		metrics = scrapeMetrics(*target + "/metrics")
 	}
 
 	var proxy *chaosnet.Proxy
@@ -139,6 +207,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	rep.Name = entryName
 	fmt.Print(rep.Render())
 
 	if *out != "" {

@@ -18,6 +18,10 @@ import (
 // stable: CI archives the report per commit and `make loadcheck` diffs a
 // fresh measurement against the committed baseline, the same contract
 // BENCH_sim.json has for the simulate hot path.
+//
+// The file holds named entries ("dnaload/v2") so single-server and fleet
+// measurements live side by side and regress independently; a legacy
+// "dnaload/v1" single-object file loads as one entry named "single".
 
 // loadConfig pins the workload shape a report was measured under.
 type loadConfig struct {
@@ -30,6 +34,7 @@ type loadConfig struct {
 	CancelFrac float64 `json:"cancel_frac"`
 	Workers    int     `json:"workers"`
 	Queue      int     `json:"queue"`
+	FleetNodes int     `json:"fleet_nodes,omitempty"`
 }
 
 // latencyMS is the client-observed submit→terminal latency distribution.
@@ -42,7 +47,8 @@ type latencyMS struct {
 // loadReport is one dnaload measurement: the client-side outcome ledger,
 // the server-side counter reconciliation, and the capacity numbers.
 type loadReport struct {
-	Schema string     `json:"schema"`
+	Schema string     `json:"schema,omitempty"` // set on legacy v1 single-object files only
+	Name   string     `json:"name"`
 	Config loadConfig `json:"config"`
 
 	// Client-side terminal outcomes; Runs is their sum.
@@ -129,7 +135,6 @@ func reconcile(records []runRecord, before, after map[string]float64, cfg loadCo
 	diff := func(name string) int { return int(after[name] - before[name]) }
 
 	rep := &loadReport{
-		Schema:     "dnaload/v1",
 		Config:     cfg,
 		Runs:       len(records),
 		GoVersion:  runtime.Version(),
@@ -168,6 +173,8 @@ func reconcile(records []runRecord, before, after map[string]float64, cfg loadCo
 	rep.Replays = diff("dnasimd_jobs_idempotent_replays_total")
 	rep.Shed = diff(`dnasimd_jobs_shed_total{reason="queue_full"}`) +
 		diff(`dnasimd_jobs_shed_total{reason="draining"}`) +
+		diff(`dnasimd_jobs_shed_total{reason="recovering"}`) +
+		diff(`dnasimd_jobs_shed_total{reason="ledger_error"}`) +
 		diff(`dnasimd_jobs_shed_total{reason="deadline_expired"}`)
 
 	if rep.Submitted > rep.DistinctJobs {
@@ -208,8 +215,8 @@ func reconcile(records []runRecord, before, after map[string]float64, cfg loadCo
 // Render formats the report as an aligned human-readable summary.
 func (r *loadReport) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "dnaload: %d arrivals at %.0f rps (chaos=%v) in %.1fs\n",
-		r.Runs, r.Config.RPS, r.Config.Chaos, r.ElapsedSec)
+	fmt.Fprintf(&b, "dnaload[%s]: %d arrivals at %.0f rps (chaos=%v fleet=%d) in %.1fs\n",
+		r.Name, r.Runs, r.Config.RPS, r.Config.Chaos, r.Config.FleetNodes, r.ElapsedSec)
 	fmt.Fprintf(&b, "  outcomes   succeeded=%d canceled=%d shed-gave-up=%d server-error=%d deadline=%d\n",
 		r.Succeeded, r.Canceled, r.ShedGaveUp, r.ServerError, r.Deadline)
 	fmt.Fprintf(&b, "  ledger     distinct=%d submitted=%d replays=%d shed=%d  lost=%d duplicated=%d corrupted=%d\n",
@@ -222,29 +229,92 @@ func (r *loadReport) Render() string {
 	return b.String()
 }
 
-// write lands the report at path.
+// loadFile is the on-disk "dnaload/v2" container: one entry per named
+// measurement (e.g. "single", "fleet").
+type loadFile struct {
+	Schema  string        `json:"schema"`
+	Entries []*loadReport `json:"entries"`
+}
+
+// parseLoadFile reads either schema generation: a v2 multi-entry file, or
+// a legacy v1 single-object report promoted to one entry named "single".
+func parseLoadFile(path string, data []byte) (*loadFile, error) {
+	var f loadFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: not a dnaload report: %w", path, err)
+	}
+	switch f.Schema {
+	case "dnaload/v2":
+		for _, e := range f.Entries {
+			if e.Name == "" {
+				e.Name = "single"
+			}
+		}
+		return &f, nil
+	case "dnaload/v1":
+		var r loadReport
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("%s: not a dnaload report: %w", path, err)
+		}
+		r.Name = "single"
+		return &loadFile{Schema: "dnaload/v2", Entries: []*loadReport{&r}}, nil
+	default:
+		return nil, fmt.Errorf("%s: unknown schema %q", path, f.Schema)
+	}
+}
+
+// write lands the report at path as a v2 file, replacing the same-named
+// entry and preserving the others — so the single-server and fleet drives
+// can refresh one committed BENCH_serve.json independently.
 func (r *loadReport) write(path string) error {
-	buf, err := json.MarshalIndent(r, "", "  ")
+	f := &loadFile{Schema: "dnaload/v2"}
+	if data, err := os.ReadFile(path); err == nil {
+		if prev, perr := parseLoadFile(path, data); perr == nil {
+			f.Entries = prev.Entries
+		}
+	}
+	entry := *r
+	if entry.Name == "" {
+		entry.Name = "single"
+	}
+	entry.Schema = "" // the file carries the schema; entries don't
+	replaced := false
+	for i, e := range f.Entries {
+		if e.Name == entry.Name {
+			f.Entries[i] = &entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		f.Entries = append(f.Entries, &entry)
+	}
+	buf, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
-// loadLoadBaseline reads a committed BENCH_serve.json.
-func loadLoadBaseline(path string) (*loadReport, error) {
+// loadLoadBaseline reads the named entry from a committed BENCH_serve.json.
+func loadLoadBaseline(path, name string) (*loadReport, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var r loadReport
-	if err := json.Unmarshal(data, &r); err != nil {
-		return nil, fmt.Errorf("%s: not a dnaload report: %w", path, err)
+	f, err := parseLoadFile(path, data)
+	if err != nil {
+		return nil, err
 	}
-	if r.Schema != "dnaload/v1" {
-		return nil, fmt.Errorf("%s: unknown schema %q", path, r.Schema)
+	var names []string
+	for _, e := range f.Entries {
+		if e.Name == name {
+			return e, nil
+		}
+		names = append(names, e.Name)
 	}
-	return &r, nil
+	return nil, fmt.Errorf("%s: no %q entry (have: %s); run once with -out but without -compare to seed it",
+		path, name, strings.Join(names, ", "))
 }
 
 // compareLoad gates a fresh report against the committed baseline.

@@ -24,7 +24,14 @@
 //
 //	dnasimd -addr :8081 -data /shared/dnasimd   # worker 1
 //	dnasimd -addr :8082 -data /shared/dnasimd   # worker 2
-//	dnasimd -addr :8080 -coordinator -nodes 'w1=http://localhost:8081,w2=http://localhost:8082'
+//	dnasimd -addr :8080 -coordinator -nodes 'w1=http://localhost:8081,w2=http://localhost:8082' \
+//	        -data-dir /var/lib/dnasimd-coord
+//
+// With -data-dir the coordinator itself is crash-consistent: every accepted
+// job is journaled to a write-ahead ledger before the 202, completed shard
+// results spill to durable containers (bounded by -cache-bytes), and a
+// restart replays the ledger — re-adopting in-flight jobs under their old
+// IDs and Idempotency-Keys — before serving.
 package main
 
 import (
@@ -67,6 +74,8 @@ func main() {
 		maxShardAtt   = flag.Int("max-shard-attempts", 0, "coordinator: placements per shard before it counts as lost (0 = 2x node count)")
 		probeInterval = flag.Duration("probe-interval", time.Second, "coordinator: /readyz health-probe cadence (negative disables)")
 		cacheEntries  = flag.Int("cache-entries", 256, "coordinator: shard result cache capacity")
+		coordDataDir  = flag.String("data-dir", "", "coordinator: data directory for the write-ahead job ledger and shard spill cache (empty disables crash recovery)")
+		cacheBytes    = flag.Int64("cache-bytes", 256<<20, "coordinator: byte budget for the durable shard spill cache under -data-dir")
 
 		logOpts = obs.LogFlags(flag.CommandLine)
 	)
@@ -87,6 +96,8 @@ func main() {
 			HedgeAfter:       *hedgeAfter,
 			AllowPartial:     *allowPartial,
 			CacheCapacity:    *cacheEntries,
+			DataDir:          *coordDataDir,
+			SpillBytes:       *cacheBytes,
 			ProbeInterval:    *probeInterval,
 			BreakerThreshold: *brkFails,
 			BreakerCooldown:  *brkCooldown,
@@ -172,10 +183,11 @@ func parseNodes(s string) ([]fleet.NodeConfig, error) {
 	return out, nil
 }
 
-// runCoordinator serves the fleet coordinator until a shutdown signal.
-// Unlike a worker there is no journal to drain into — shards in flight
-// either finish on their nodes (whose own journals survive a coordinator
-// restart) or are resubmitted by the client against the restarted fleet.
+// runCoordinator serves the fleet coordinator until a shutdown signal,
+// then drains: admission stops, in-flight jobs park in their write-ahead
+// ledgers (when -data-dir is set), and a restart on the same -data-dir
+// re-adopts them — collecting shards that finished on workers in the
+// meantime via the spill cache and derived Idempotency-Keys.
 func runCoordinator(addr string, cfg fleet.Config, logger *log.Logger, pprof bool) {
 	coord, err := fleet.New(cfg)
 	if err != nil {
@@ -204,8 +216,11 @@ func runCoordinator(addr string, cfg fleet.Config, logger *log.Logger, pprof boo
 	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
 	select {
 	case sig := <-sigCh:
-		logger.Printf("%s: stopping coordinator", sig)
-		coord.Close()
+		logger.Printf("%s: draining coordinator", sig)
+		// Drain, not Close: park in-flight jobs in their ledgers and fsync
+		// them shut, so a restart on the same -data-dir resumes the work.
+		// Status and result queries keep answering until the listener stops.
+		coord.Drain()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {

@@ -288,7 +288,10 @@ func cmdScrub(args []string) error {
 			}
 		}
 		healthy := rep.Intact() || rep.Legacy
-		if *repair && rep.Damaged() && rep.Repairable() {
+		if isJournalPath(path) {
+			healthy = durable.JournalIntact(rep) || rep.Legacy
+		}
+		if *repair && rep.Damaged() && rep.Repairable() && !isJournalPath(path) {
 			healthy = true
 			fmt.Printf("  repaired: %s rewritten from parity\n", path)
 		}
@@ -305,10 +308,27 @@ func cmdScrub(args []string) error {
 
 // scrubOne scrubs (or repairs) a single path; a nil report means the file
 // is not scrub-relevant (unreadable non-regular files are surfaced as
-// errors instead).
+// errors instead). Journals — checkpoint `.ckpt` files and coordinator
+// ledger `.wal` files — are footer-less by design and get the journal
+// scrub, which accepts a stream ending on a frame boundary.
 func scrubOne(path string, repair bool) (*durable.Report, error) {
+	if isJournalPath(path) {
+		// Repair-by-rewrite would append the footer journals must not
+		// have, so journals are verify-only here; a torn tail heals on the
+		// next OpenJournal anyway.
+		return durable.ScrubJournalFile(path)
+	}
 	if repair {
 		return durable.RepairFile(path)
 	}
 	return durable.ScrubFile(path)
+}
+
+// isJournalPath recognises append-only journal artifacts by suffix.
+func isJournalPath(path string) bool {
+	switch filepath.Ext(path) {
+	case ".ckpt", ".wal":
+		return true
+	}
+	return false
 }

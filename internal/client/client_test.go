@@ -481,3 +481,60 @@ func TestChecksumMismatchRetries(t *testing.T) {
 		t.Errorf("status ID = %q from the clean retry, want job-1", st.ID)
 	}
 }
+
+// TestRunSurvivesCoordinatorRestart: a coordinator restart presents to a
+// mid-poll client as a short window of 503s (draining, then recovering)
+// on every endpoint. Run must ride the window out — honoring the server's
+// Retry-After floor — and then finish against the restarted process under
+// the same job ID, never surfacing the restart to its caller.
+func TestRunSurvivesCoordinatorRestart(t *testing.T) {
+	var statusCalls atomic.Int64
+	payload := []byte("merged dataset bytes")
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/jobs":
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(server.Status{ID: "f000001", Kind: server.KindSimulate, State: server.StateRunning})
+		case r.URL.Path == "/v1/jobs/f000001":
+			switch statusCalls.Add(1) {
+			case 1, 2:
+				// The restart window: old process draining, new one
+				// recovering its ledger. Both shed with a hint.
+				w.Header().Set("Retry-After", "1")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprint(w, `{"error":"fleet: not accepting jobs: recovering"}`)
+			case 3:
+				// Recovered: the re-adopted job answers under its old ID.
+				json.NewEncoder(w).Encode(server.Status{ID: "f000001", Kind: server.KindSimulate, State: server.StateRunning})
+			default:
+				json.NewEncoder(w).Encode(server.Status{ID: "f000001", Kind: server.KindSimulate, State: server.StateDone})
+			}
+		case r.URL.Path == "/v1/jobs/f000001/result":
+			w.Write(payload)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer ts.Close()
+	c, log := newTestClient(ts, nil)
+
+	res := c.Run(context.Background(), testSpec(9))
+	if res.Outcome != OutcomeSucceeded {
+		t.Fatalf("run settled %s across the restart window: %v", res.Outcome, res.Err)
+	}
+	if string(res.Data) != string(payload) {
+		t.Fatalf("data = %q, want %q", res.Data, payload)
+	}
+	if res.Submits != 1 {
+		t.Errorf("submits = %d, want 1 — the job must not be resubmitted, only re-polled", res.Submits)
+	}
+	hinted := 0
+	for _, wait := range log.all() {
+		if wait >= time.Second {
+			hinted++
+		}
+	}
+	if hinted < 2 {
+		t.Errorf("only %d waits honored the 1s Retry-After floor, want one per shed response", hinted)
+	}
+}

@@ -56,6 +56,8 @@ const (
 	KindDataset    Kind = 2
 	KindProfile    Kind = 3
 	KindCheckpoint Kind = 4
+	// KindLedger marks a coordinator write-ahead job ledger journal.
+	KindLedger Kind = 5
 )
 
 // String names the kind for reports.
@@ -69,6 +71,8 @@ func (k Kind) String() string {
 		return "profile"
 	case KindCheckpoint:
 		return "checkpoint"
+	case KindLedger:
+		return "ledger"
 	default:
 		return fmt.Sprintf("unknown(%d)", byte(k))
 	}

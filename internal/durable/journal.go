@@ -144,6 +144,35 @@ func (j *Journal) Append(name string, payload []byte) error {
 	return j.f.Sync()
 }
 
+// AppendNoSync writes one frame without forcing it to disk. A crash may
+// lose every frame since the last synced write — OpenJournal's torn-tail
+// scan discards the loss cleanly — so this is only for frames whose
+// content the owner can re-derive (progress hints, not commitments). A
+// later Append, Sync, or Close makes the frame durable.
+func (j *Journal) AppendNoSync(name string, payload []byte) error {
+	frame, _, err := encodeFrame(name, payload, j.parity, j.rs)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return os.ErrClosed
+	}
+	_, err = j.f.Write(frame)
+	return err
+}
+
+// Sync forces every written frame to disk.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return os.ErrClosed
+	}
+	return j.f.Sync()
+}
+
 // Close syncs and closes the journal file.
 func (j *Journal) Close() error {
 	j.mu.Lock()

@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"context"
 	"sync"
+
+	"dnastore/internal/obs"
 )
 
 // resultCache is the content-addressed shard result cache with
@@ -18,7 +20,17 @@ import (
 // computation — the first caller computes, the rest wait on the entry.
 // Failures are never cached; the failed entry is removed so the next
 // request computes afresh (on a healthier node, typically).
+//
+// With a spill store attached the memory cache becomes a read-through
+// layer: a memory miss consults the durable spill before computing, and
+// every computed success spills. The single-flight entry covers the spill
+// read too, so concurrent callers of one key cost one disk read.
 type resultCache struct {
+	// spill, when set, is the durable layer under the memory entries.
+	spill *spillStore
+	// evictions counts FIFO evictions from the memory layer (nil-safe).
+	evictions *obs.Counter
+
 	mu  sync.Mutex
 	cap int
 	ent map[uint64]*cacheEntry
@@ -42,8 +54,9 @@ func newResultCache(capacity int) *resultCache {
 }
 
 // do returns the cached bytes for key, or computes them exactly once per
-// concurrent flight. hit reports whether this caller was served by someone
-// else's (finished or in-flight) computation.
+// concurrent flight. hit reports whether this caller was served without a
+// fresh computation: by someone else's (finished or in-flight) flight, or
+// by the durable spill.
 func (c *resultCache) do(ctx context.Context, key uint64, compute func() ([]byte, error)) (data []byte, hit bool, err error) {
 	c.mu.Lock()
 	if e, ok := c.ent[key]; ok {
@@ -64,7 +77,15 @@ func (c *resultCache) do(ctx context.Context, key uint64, compute func() ([]byte
 	c.ent[key] = e
 	c.mu.Unlock()
 
-	e.data, e.err = compute()
+	fromSpill := false
+	if c.spill != nil {
+		if data, ok := c.spill.get(key); ok {
+			e.data, fromSpill = data, true
+		}
+	}
+	if !fromSpill {
+		e.data, e.err = compute()
+	}
 	c.mu.Lock()
 	if e.err != nil {
 		// Never cache a failure: the next request should get a fresh
@@ -72,17 +93,44 @@ func (c *resultCache) do(ctx context.Context, key uint64, compute func() ([]byte
 		delete(c.ent, key)
 	} else {
 		c.fifo.PushBack(key)
-		for c.fifo.Len() > c.cap {
-			old := c.fifo.Remove(c.fifo.Front()).(uint64)
-			delete(c.ent, old)
-		}
+		c.evictLocked()
 	}
 	c.mu.Unlock()
 	close(e.ready)
 	if e.err != nil {
 		return nil, false, e.err
 	}
-	return e.data, false, nil
+	if !fromSpill && c.spill != nil {
+		c.spill.put(key, e.data)
+	}
+	return e.data, fromSpill, nil
+}
+
+// evictLocked enforces the FIFO capacity bound. Caller holds c.mu.
+func (c *resultCache) evictLocked() {
+	for c.fifo.Len() > c.cap {
+		old := c.fifo.Remove(c.fifo.Front()).(uint64)
+		delete(c.ent, old)
+		if c.evictions != nil {
+			c.evictions.Inc()
+		}
+	}
+}
+
+// seed installs an already-known value (recovery restoring a merged job
+// from spilled shards) without a flight. A present entry wins: it is
+// either identical or already in flight toward the identical bytes.
+func (c *resultCache) seed(key uint64, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.ent[key]; ok {
+		return
+	}
+	e := &cacheEntry{ready: make(chan struct{}), data: data}
+	close(e.ready)
+	c.ent[key] = e
+	c.fifo.PushBack(key)
+	c.evictLocked()
 }
 
 // len returns the number of cached (or in-flight) entries.

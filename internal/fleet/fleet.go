@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -68,6 +69,23 @@ type Config struct {
 	AllowPartial bool
 	// CacheCapacity bounds the shard result cache (default 256 entries).
 	CacheCapacity int
+	// DataDir, when set, makes the coordinator crash-consistent: every
+	// accepted job is journaled to a write-ahead ledger under
+	// DataDir/ledger before the client sees 202, completed shard results
+	// spill to durable containers under DataDir/spill, and a restart
+	// replays the ledger — re-adopting in-flight jobs under their old IDs
+	// and Idempotency-Keys — before serving. Empty disables durability:
+	// the coordinator is then exactly as forgetful as before.
+	DataDir string
+	// SpillBytes bounds the on-disk spill store (default 256 MiB); the
+	// FIFO garbage collector evicts oldest entries beyond it.
+	SpillBytes int64
+	// DrainGrace bounds how long Drain waits for in-flight jobs to finish
+	// or park before sealing the ledger (default 10s).
+	DrainGrace time.Duration
+	// LedgerKeep bounds how many terminal job ledgers are retained for
+	// replay/audit before FIFO pruning (default 512).
+	LedgerKeep int
 	// ProbeInterval is the /readyz health-probe cadence (default 1s;
 	// negative disables probing — breakers alone then gate placement).
 	ProbeInterval time.Duration
@@ -93,19 +111,29 @@ type Coordinator struct {
 	cfg     Config
 	nodes   []*node
 	cache   *resultCache
+	ledger  *ledgerStore
+	spill   *spillStore
 	metrics *fleetMetrics
 	slog    *slog.Logger
 
-	mu     sync.Mutex
-	jobs   map[string]*fleetJob
-	idem   map[string]string
-	nextID int
-	closed bool
+	mu           sync.Mutex
+	jobs         map[string]*fleetJob
+	idem         map[string]string
+	nextID       int
+	closed       bool
+	phase        server.Phase
+	drainStarted time.Time
 
-	stop    chan struct{}
-	probeWG sync.WaitGroup
-	mux     *http.ServeMux
+	stop      chan struct{}
+	probeWG   sync.WaitGroup
+	jobWG     sync.WaitGroup
+	drainOnce sync.Once
+	mux       *http.ServeMux
 }
+
+// phaseRecovering is the coordinator-only boot phase: the ledger is being
+// replayed and admission sheds; it flips to serving before New returns.
+const phaseRecovering = server.Phase("recovering")
 
 // New returns a Coordinator over cfg.Nodes with its probe loop running.
 func New(cfg Config) (*Coordinator, error) {
@@ -143,6 +171,9 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.BreakerCooldown <= 0 {
 		cfg.BreakerCooldown = 5 * time.Second
 	}
+	if cfg.DrainGrace <= 0 {
+		cfg.DrainGrace = 10 * time.Second
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = obs.Discard()
 	}
@@ -155,7 +186,19 @@ func New(cfg Config) (*Coordinator, error) {
 		slog:  cfg.Logger,
 		jobs:  make(map[string]*fleetJob),
 		idem:  make(map[string]string),
+		phase: server.PhaseServing,
 		stop:  make(chan struct{}),
+	}
+	if cfg.DataDir != "" {
+		c.phase = phaseRecovering
+		var err error
+		if c.ledger, err = openLedgerStore(filepath.Join(cfg.DataDir, "ledger"), cfg.LedgerKeep, c.slog); err != nil {
+			return nil, err
+		}
+		if c.spill, err = openSpillStore(filepath.Join(cfg.DataDir, "spill"), cfg.SpillBytes, c.slog); err != nil {
+			return nil, err
+		}
+		c.cache.spill = c.spill
 	}
 	for _, nc := range cfg.Nodes {
 		ccfg := cfg.Client
@@ -169,7 +212,25 @@ func New(cfg Config) (*Coordinator, error) {
 		c.nodes = append(c.nodes, n)
 	}
 	c.metrics = newFleetMetrics(c, cfg.Registry)
+	c.cache.evictions = c.metrics.evictions
+	if c.spill != nil {
+		c.spill.hits = c.metrics.spillHits
+		c.spill.writes = c.metrics.spillWrites
+		c.spill.gc = c.metrics.spillGC
+	}
 	c.routes()
+	if c.ledger != nil {
+		// Replay the write-ahead ledger before serving: restore every
+		// journaled job (terminal jobs with their verdicts, in-flight and
+		// completed-but-unfetched jobs by re-adoption), rebind
+		// Idempotency-Keys, and only then flip the phase — so a client
+		// that was mid-poll when the old process died finds its job ID
+		// answering again, never a permanent 404.
+		c.recover()
+	}
+	c.mu.Lock()
+	c.phase = server.PhaseServing
+	c.mu.Unlock()
 	if cfg.ProbeInterval > 0 {
 		c.probeWG.Add(1)
 		go c.probeLoop()
@@ -181,7 +242,8 @@ func New(cfg Config) (*Coordinator, error) {
 // GET /metrics).
 func (c *Coordinator) Registry() *obs.Registry { return c.cfg.Registry }
 
-// Close stops the probe loop. In-flight jobs keep running.
+// Close stops the probe loop. In-flight jobs keep running. For a full
+// shutdown that parks in-flight work for a restart, use Drain.
 func (c *Coordinator) Close() {
 	c.mu.Lock()
 	if !c.closed {
@@ -190,6 +252,62 @@ func (c *Coordinator) Close() {
 	}
 	c.mu.Unlock()
 	c.probeWG.Wait()
+}
+
+// errDrainStop is the cancel cause Drain hands in-flight jobs: unlike a
+// client cancel it is NOT a terminal verdict — the job stays non-terminal
+// in its ledger, exactly so the next boot re-adopts it.
+var errDrainStop = errors.New("fleet: coordinator draining; job parks for restart-resume")
+
+// Drain executes the coordinator's graceful shutdown: admission stops
+// (submissions and /readyz shed 503 + Retry-After), in-flight jobs are
+// told to park — their worker calls are canceled, but their ledgers keep
+// them non-terminal so a restart re-adopts them against workers that kept
+// computing — and once every job goroutine has settled (bounded by
+// DrainGrace) the ledger files are fsynced shut. Idempotent.
+func (c *Coordinator) Drain() {
+	c.drainOnce.Do(func() {
+		c.mu.Lock()
+		c.phase = server.PhaseDraining
+		c.drainStarted = time.Now()
+		var live []*fleetJob
+		for _, j := range c.jobs {
+			j.mu.Lock()
+			if !j.state.Terminal() {
+				live = append(live, j)
+			}
+			j.mu.Unlock()
+		}
+		c.mu.Unlock()
+		c.slog.Info("draining", "in_flight", len(live), "grace", c.cfg.DrainGrace)
+		for _, j := range live {
+			j.mu.Lock()
+			cancel := j.cancel
+			j.mu.Unlock()
+			if cancel != nil {
+				cancel(errDrainStop)
+			}
+		}
+		settled := make(chan struct{})
+		go func() { c.jobWG.Wait(); close(settled) }()
+		select {
+		case <-settled:
+		case <-time.After(c.cfg.DrainGrace):
+			c.slog.Warn("drain grace expired with jobs still settling")
+		}
+		c.Close()
+		c.mu.Lock()
+		jobs := c.jobs
+		c.phase = server.PhaseStopped
+		c.mu.Unlock()
+		// Seal every still-open ledger. Terminal jobs already closed
+		// theirs; this catches parked jobs, whose last synced frame is
+		// the re-adoption contract.
+		for _, j := range jobs {
+			j.led.close()
+		}
+		c.slog.Info("drained; ledger sealed")
+	})
 }
 
 // probeLoop refreshes every node's health on a fixed cadence. Probes run
@@ -302,6 +420,13 @@ func (e *ErasureError) Error() string {
 // per-shard report. The spec must be unsharded; the coordinator owns the
 // split.
 func (c *Coordinator) Simulate(ctx context.Context, spec server.SimulateSpec) ([]byte, Report, error) {
+	return c.simulateJob(ctx, spec, nil)
+}
+
+// simulateJob is Simulate with the job's write-ahead ledger attached (nil
+// for direct callers): shard state transitions are journaled as they
+// happen, so a post-crash operator can read exactly how far a job got.
+func (c *Coordinator) simulateJob(ctx context.Context, spec server.SimulateSpec, led *jobLedger) ([]byte, Report, error) {
 	if spec.ClusterFirst != 0 || spec.ClusterCount != 0 {
 		return nil, Report{}, errors.New("fleet: spec already carries a cluster range; the coordinator owns the split")
 	}
@@ -322,7 +447,7 @@ func (c *Coordinator) Simulate(ctx context.Context, spec server.SimulateSpec) ([
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], rep.Shards[i] = c.runShard(ctx, shards[i])
+			results[i], rep.Shards[i] = c.runShard(ctx, shards[i], led)
 		}(i)
 	}
 	wg.Wait()
@@ -344,6 +469,7 @@ func (c *Coordinator) Simulate(ctx context.Context, spec server.SimulateSpec) ([
 			st.Erased = true
 			rep.Erased++
 			c.metrics.shardsErased.Inc()
+			led.shardEvent(ledgerShardEvent{Index: i, Event: "erased", Error: st.Error})
 			erased = append(erased, *st)
 			if refs == nil {
 				refs = spec.References()
@@ -379,15 +505,16 @@ func erasedShardBytes(refs []dna.Strand, first, count int) []byte {
 }
 
 // runShard produces one shard's bytes through the cache.
-func (c *Coordinator) runShard(ctx context.Context, sh shard) ([]byte, ShardStatus) {
+func (c *Coordinator) runShard(ctx context.Context, sh shard, led *jobLedger) ([]byte, ShardStatus) {
 	st := ShardStatus{Index: sh.index, First: sh.first, Count: sh.count}
 	data, hit, err := c.cache.do(ctx, sh.key, func() ([]byte, error) {
 		c.metrics.cacheMisses.Inc()
-		return c.computeShard(ctx, sh, &st)
+		return c.computeShard(ctx, sh, &st, led)
 	})
 	if hit {
 		c.metrics.cacheHits.Inc()
 		st.CacheHit = true
+		led.shardEvent(ledgerShardEvent{Index: sh.index, Event: "cache", Key: fmt.Sprintf("%016x", sh.key)})
 	}
 	if err != nil {
 		st.Error = err.Error()
@@ -399,9 +526,10 @@ func (c *Coordinator) runShard(ctx context.Context, sh shard) ([]byte, ShardStat
 // computeShard places a shard and drives it to bytes: ranked placement,
 // per-attempt hedging, and re-placement on the next-ranked survivor after
 // a failure, up to MaxShardAttempts placements.
-func (c *Coordinator) computeShard(ctx context.Context, sh shard, st *ShardStatus) ([]byte, error) {
+func (c *Coordinator) computeShard(ctx context.Context, sh shard, st *ShardStatus, led *jobLedger) ([]byte, error) {
 	ranked := rank(c.nodes, sh.key)
 	tried := make(map[string]int, len(ranked))
+	shardKey := fmt.Sprintf("%016x", sh.key)
 	var prev *node
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxShardAttempts; attempt++ {
@@ -419,18 +547,22 @@ func (c *Coordinator) computeShard(ctx context.Context, sh shard, st *ShardStatu
 			c.metrics.replacements.Inc()
 			if c.shardJournalVisible(ctx, primary, sh) {
 				st.Resumed = true
+				led.shardEvent(ledgerShardEvent{Index: sh.index, Event: "resumed", Node: primary.name, Key: shardKey})
 			}
 			c.slog.Warn("shard re-placed", "shard", sh.index, "from", prev.name,
 				"to", primary.name, "resumable", st.Resumed, "cause", lastErr)
 		}
 		prev = primary
+		led.shardEvent(ledgerShardEvent{Index: sh.index, Event: "placed", Node: primary.name, Key: shardKey})
 		backup := pickBackup(ranked, primary)
 		data, winner, err := c.attempt(ctx, primary, backup, sh, st)
 		if err == nil {
 			st.Node = winner.name
+			led.shardEvent(ledgerShardEvent{Index: sh.index, Event: "done", Node: winner.name, Key: shardKey})
 			return data, nil
 		}
 		lastErr = err
+		led.shardEvent(ledgerShardEvent{Index: sh.index, Event: "failed", Node: primary.name, Key: shardKey, Error: err.Error()})
 	}
 	return nil, fmt.Errorf("fleet: shard %d gave up after %d placement(s): %w", sh.index, st.Attempts, lastErr)
 }

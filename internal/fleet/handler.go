@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -26,6 +28,10 @@ type fleetJob struct {
 	id      string
 	spec    server.JobSpec
 	created time.Time
+	// led is the job's write-ahead ledger (nil without a DataDir).
+	led *jobLedger
+	// recovered marks a job re-adopted from the ledger after a restart.
+	recovered bool
 
 	mu     sync.Mutex
 	state  server.JobState
@@ -63,6 +69,32 @@ func (j *fleetJob) finish(state server.JobState, result []byte, rep Report, err 
 
 // errFacadeCanceled is the cancel cause for DELETE /v1/jobs/{id}.
 var errFacadeCanceled = errors.New("fleet: canceled by client")
+
+// shed reasons (the dnasimd_jobs_shed_total label values).
+const (
+	shedReasonDraining   = "draining"
+	shedReasonRecovering = "recovering"
+	shedReasonLedger     = "ledger_error"
+	shedReasonDeadline   = "deadline_expired"
+)
+
+// shedError tells handleSubmit to answer 503 + Retry-After: the
+// coordinator is in a phase that does not admit (draining, recovering),
+// or could not commit the admission to its ledger.
+type shedError struct {
+	reason string
+	cause  error
+}
+
+func (e *shedError) Error() string {
+	msg := "fleet: not accepting jobs: " + e.reason
+	if e.cause != nil {
+		msg += ": " + e.cause.Error()
+	}
+	return msg
+}
+
+func (e *shedError) Unwrap() error { return e.cause }
 
 // routes builds the façade mux.
 func (c *Coordinator) routes() {
@@ -108,6 +140,12 @@ func bodyChecksum(b []byte) string {
 // replays the admitted job instead of re-running the work — and because
 // shard results are content-addressed, even a duplicate submission under
 // a fresh key costs only cache lookups.
+//
+// With a ledger configured, the admission record — job ID, key, spec,
+// shard plan — is fsynced to a write-ahead journal while the admission
+// lock is held, before the caller (and therefore the client's 202) ever
+// sees the job. A crash after Submit returns can forget nothing the
+// client was promised.
 func (c *Coordinator) Submit(key string, spec server.JobSpec) (j *fleetJob, replayed bool, err error) {
 	if err := spec.Validate(); err != nil {
 		return nil, false, fmt.Errorf("fleet: invalid job: %w", err)
@@ -116,6 +154,14 @@ func (c *Coordinator) Submit(key string, spec server.JobSpec) (j *fleetJob, repl
 		return nil, false, errors.New("fleet: invalid job: spec already carries a cluster range; the coordinator owns the split")
 	}
 	c.mu.Lock()
+	if c.phase != server.PhaseServing {
+		reason := shedReasonDraining
+		if c.phase == phaseRecovering {
+			reason = shedReasonRecovering
+		}
+		c.mu.Unlock()
+		return nil, false, &shedError{reason: reason}
+	}
 	if key != "" {
 		if id, ok := c.idem[key]; ok {
 			if prev, ok := c.jobs[id]; ok {
@@ -137,10 +183,28 @@ func (c *Coordinator) Submit(key string, spec server.JobSpec) (j *fleetJob, repl
 		state:   server.StateQueued,
 		done:    make(chan struct{}),
 	}
+	if c.ledger != nil {
+		led, lerr := c.ledger.create(ledgerAccepted{
+			ID: j.id, Key: key, CreatedUnixMS: j.created.UnixMilli(),
+			ShardClusters: c.cfg.ShardClusters, Spec: spec,
+		})
+		if lerr != nil {
+			// The write-ahead contract is absolute: no durable admission
+			// record, no admission. Roll the ID back and shed — a disk
+			// hiccup is transient, so the client retries rather than
+			// believing a 202 the ledger cannot back.
+			c.nextID--
+			c.mu.Unlock()
+			c.slog.Error("admission refused: ledger write failed", "error", lerr)
+			return nil, false, &shedError{reason: shedReasonLedger, cause: lerr}
+		}
+		j.led = led
+	}
 	c.jobs[j.id] = j
 	if key != "" {
 		c.idem[key] = j.id
 	}
+	c.jobWG.Add(1)
 	c.mu.Unlock()
 	c.metrics.submitted.Inc()
 	c.slog.Info("job admitted", "job", j.id, "kind", string(spec.Kind))
@@ -164,8 +228,11 @@ func (c *Coordinator) runningJobs() int {
 	return n
 }
 
-// runJob drives one admitted job to a terminal state.
+// runJob drives one admitted job to a terminal state — or, when a drain
+// interrupts it, parks it: the job stays non-terminal in memory and in
+// its ledger, which is precisely the record the next boot re-adopts.
 func (c *Coordinator) runJob(j *fleetJob) {
+	defer c.jobWG.Done()
 	ctx, cancel := context.WithCancelCause(context.Background())
 	defer cancel(nil)
 	if ddl := j.spec.Deadline(); !ddl.IsZero() {
@@ -191,11 +258,20 @@ func (c *Coordinator) runJob(j *fleetJob) {
 	var err error
 	switch j.spec.Kind {
 	case server.KindSimulate:
-		data, rep, err = c.Simulate(ctx, *j.spec.Simulate)
+		data, rep, err = c.simulateJob(ctx, *j.spec.Simulate, j.led)
 	case server.KindRetrieve:
 		data, err = c.passthrough(ctx, j.spec)
 	default:
 		err = fmt.Errorf("fleet: unsupported job kind %q", j.spec.Kind)
+	}
+
+	if err != nil && errors.Is(context.Cause(ctx), errDrainStop) {
+		// Drain told the job to park, not to die: no terminal transition,
+		// no terminal ledger frame. Workers keep computing their shards;
+		// the restarted coordinator re-adopts the job from its ledger and
+		// collects what finished in the meantime.
+		c.slog.Info("job parked for restart-resume", "job", j.id)
+		return
 	}
 
 	state := server.StateDone
@@ -207,6 +283,14 @@ func (c *Coordinator) runJob(j *fleetJob) {
 		state, data = server.StateFailed, nil
 	}
 	if j.finish(state, data, rep, err) {
+		errStr := ""
+		if err != nil {
+			errStr = err.Error()
+		}
+		j.led.finish(state, errStr)
+		if j.led != nil {
+			c.ledger.retire(j.led.path)
+		}
 		if cnt := c.metrics.finished[state]; cnt != nil {
 			cnt.Inc()
 		}
@@ -257,8 +341,19 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j, replayed, err := c.Submit(r.Header.Get(server.IdempotencyKeyHeader), spec)
+	var shed *shedError
 	switch {
+	case errors.As(err, &shed):
+		if cnt := c.metrics.shed[shed.reason]; cnt != nil {
+			cnt.Inc()
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(c.retryAfterHint()))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": shed.Error()})
+		return
 	case errors.Is(err, server.ErrDeadlineExpired):
+		if cnt := c.metrics.shed[shedReasonDeadline]; cnt != nil {
+			cnt.Inc()
+		}
 		writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": err.Error()})
 		return
 	case err != nil:
@@ -343,6 +438,10 @@ func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
 		}
 		j.mu.Unlock()
 		if transitioned {
+			j.led.finish(server.StateCanceled, errFacadeCanceled.Error())
+			if j.led != nil {
+				c.ledger.retire(j.led.path)
+			}
 			if cnt := c.metrics.finished[server.StateCanceled]; cnt != nil {
 				cnt.Inc()
 			}
@@ -377,8 +476,9 @@ type FleetHealth struct {
 func (c *Coordinator) HealthSnapshot() FleetHealth {
 	c.mu.Lock()
 	jobs := len(c.jobs)
+	phase := c.phase
 	c.mu.Unlock()
-	h := FleetHealth{Phase: server.PhaseServing, Jobs: jobs}
+	h := FleetHealth{Phase: phase, Jobs: jobs}
 	for _, n := range c.nodes {
 		h.Nodes = append(h.Nodes, NodeHealth{
 			Name: n.name, Healthy: n.healthy.Load(),
@@ -392,15 +492,60 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, c.HealthSnapshot())
 }
 
-// handleReadyz: the coordinator can take work while at least one node is
-// eligible; with zero eligible nodes every shard would ride the last-resort
-// placement path, so readiness honestly says no.
+// handleReadyz: the coordinator can take work while it is serving and at
+// least one node is eligible; with zero eligible nodes every shard would
+// ride the last-resort placement path, so readiness honestly says no.
+// Non-serving phases (recovering, draining, stopped) answer exactly like
+// the single-node server: 503 with a clamped integer Retry-After, so
+// internal/client backs off identically against either.
 func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	phase := c.phase
+	c.mu.Unlock()
+	if phase != server.PhaseServing {
+		w.Header().Set("Retry-After", strconv.Itoa(c.retryAfterHint()))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": string(phase)})
+		return
+	}
 	for _, n := range c.nodes {
 		if n.eligible() {
 			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 			return
 		}
 	}
+	w.Header().Set("Retry-After", strconv.Itoa(c.retryAfterHint()))
 	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no eligible nodes"})
+}
+
+// maxRetryAfterSeconds mirrors the single-node server's cap: past an hour
+// the hint stops being advice and starts being a bug amplifier.
+const maxRetryAfterSeconds = 3600
+
+// retryAfterHint is the coordinator's Retry-After estimate, RFC 9110
+// delta-seconds: a positive integer clamped into [1, maxRetryAfterSeconds]
+// (the comparisons also catch a NaN from pathological durations before
+// the float→int conversion, whose behavior is undefined out of range).
+// While draining it is the remaining drain window — by then this process
+// has exited and its replacement can take the retry; while recovering or
+// node-starved it is a short constant, because both conditions clear on
+// the order of probe ticks.
+func (c *Coordinator) retryAfterHint() int {
+	c.mu.Lock()
+	phase, started := c.phase, c.drainStarted
+	c.mu.Unlock()
+	if phase != server.PhaseDraining && phase != server.PhaseStopped {
+		return 1
+	}
+	rem := c.cfg.DrainGrace
+	if !started.IsZero() {
+		rem -= time.Since(started)
+	}
+	sec := math.Ceil(rem.Seconds())
+	switch {
+	case !(sec > 1): // ≤1, or NaN
+		return 1
+	case sec >= maxRetryAfterSeconds:
+		return maxRetryAfterSeconds
+	}
+	return int(sec)
 }

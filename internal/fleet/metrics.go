@@ -16,14 +16,23 @@ import (
 type fleetMetrics struct {
 	cacheHits    *obs.Counter
 	cacheMisses  *obs.Counter
+	evictions    *obs.Counter
 	replacements *obs.Counter
 	hedgesFired  *obs.Counter
 	shardsErased *obs.Counter
 	shardsDone   *obs.Counter
 
+	spillHits   *obs.Counter
+	spillWrites *obs.Counter
+	spillGC     *obs.Counter
+
+	recovered     *obs.Counter
+	ledgerReplays *obs.Counter
+
 	submitted   *obs.Counter
 	idemReplays *obs.Counter
 	finished    map[server.JobState]*obs.Counter
+	shed        map[string]*obs.Counter
 }
 
 func newFleetMetrics(c *Coordinator, reg *obs.Registry) *fleetMetrics {
@@ -40,6 +49,20 @@ func newFleetMetrics(c *Coordinator, reg *obs.Registry) *fleetMetrics {
 		"Shards abandoned after every placement attempt failed (degraded completion).")
 	m.shardsDone = reg.Counter("dnasimd_fleet_shards_completed_total",
 		"Shards merged into a result (cache hits included, erasures excluded).")
+	m.evictions = reg.Counter("dnasimd_fleet_cache_evictions_total",
+		"Entries evicted from the in-memory shard cache (FIFO over capacity).")
+
+	m.spillHits = reg.Counter("dnasimd_fleet_spill_hits_total",
+		"Memory-cache misses served from the durable spill store.")
+	m.spillWrites = reg.Counter("dnasimd_fleet_spill_writes_total",
+		"Computed shard results spilled to durable containers.")
+	m.spillGC = reg.Counter("dnasimd_fleet_spill_gc_total",
+		"Spill entries deleted by the FIFO byte-budget garbage collector.")
+
+	m.recovered = reg.Counter("dnasimd_fleet_recovered_jobs_total",
+		"Jobs re-adopted from the write-ahead ledger after a restart.")
+	m.ledgerReplays = reg.Counter("dnasimd_fleet_ledger_replays_total",
+		"Job ledger files replayed at boot.")
 
 	m.submitted = reg.Counter("dnasimd_jobs_submitted_total",
 		"Jobs admitted by the coordinator facade.")
@@ -50,6 +73,13 @@ func newFleetMetrics(c *Coordinator, reg *obs.Registry) *fleetMetrics {
 		server.StateDone:     reg.Counter(`dnasimd_jobs_finished_total{outcome="done"}`, finHelp),
 		server.StateFailed:   reg.Counter(`dnasimd_jobs_finished_total{outcome="failed"}`, finHelp),
 		server.StateCanceled: reg.Counter(`dnasimd_jobs_finished_total{outcome="canceled"}`, finHelp),
+	}
+	shedHelp := "Submissions refused with 503 + Retry-After, by reason."
+	m.shed = map[string]*obs.Counter{
+		shedReasonDraining:   reg.Counter(`dnasimd_jobs_shed_total{reason="draining"}`, shedHelp),
+		shedReasonRecovering: reg.Counter(`dnasimd_jobs_shed_total{reason="recovering"}`, shedHelp),
+		shedReasonLedger:     reg.Counter(`dnasimd_jobs_shed_total{reason="ledger_error"}`, shedHelp),
+		shedReasonDeadline:   reg.Counter(`dnasimd_jobs_shed_total{reason="deadline_expired"}`, shedHelp),
 	}
 
 	reg.GaugeFunc("dnasimd_fleet_nodes_eligible", "Worker nodes currently healthy with a non-open breaker.",
@@ -64,6 +94,10 @@ func newFleetMetrics(c *Coordinator, reg *obs.Registry) *fleetMetrics {
 		})
 	reg.GaugeFunc("dnasimd_fleet_cache_entries", "Entries in the shard result cache (in-flight included).",
 		func() float64 { return float64(c.cache.len()) })
+	if c.spill != nil {
+		reg.GaugeFunc("dnasimd_fleet_spill_entries", "Shard results resident in the durable spill store.",
+			func() float64 { return float64(c.spill.entries()) })
+	}
 	reg.GaugeFunc("dnasimd_queue_depth", "Jobs admitted but not yet executing (the facade runs jobs immediately, so 0).",
 		func() float64 { return 0 })
 	reg.GaugeFunc("dnasimd_jobs_running", "Facade jobs currently executing across the fleet.",

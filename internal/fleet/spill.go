@@ -1,0 +1,196 @@
+package fleet
+
+import (
+	"container/list"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"dnastore/internal/durable"
+	"dnastore/internal/obs"
+)
+
+// spillStore is the durable layer under the in-memory shard result cache:
+// every computed shard spills to a content-addressed container under
+// <DataDir>/spill/, and a memory miss reads through to it. Entries are
+// immutable (shard bytes are a pure function of their fingerprint), so
+// the store needs no coherence — only admission and eviction.
+//
+//   - Files are single-frame durable containers (KindDataset, default
+//     parity), written atomically, so a crash mid-spill leaves either the
+//     old state or a complete entry — and bit rot within the parity
+//     budget repairs on read.
+//   - Eviction is FIFO over a byte budget, matching the memory cache's
+//     FIFO-over-entries policy: entries are equally cheap to recompute,
+//     so arrival order is as good as any and far simpler than LRU.
+//   - A corrupt entry is deleted on read and treated as a miss: the spill
+//     is a cache, never the only copy, so the honest response to damage
+//     is recomputation, not an error.
+type spillStore struct {
+	dir    string
+	budget int64
+	slog   *slog.Logger
+
+	// Counters are wired after metrics construction; nil-safe.
+	hits, writes, gc *obs.Counter
+
+	mu   sync.Mutex
+	size int64
+	fifo *list.List // of *spillEntry, oldest front
+	ent  map[uint64]*list.Element
+}
+
+type spillEntry struct {
+	key   uint64
+	bytes int64
+}
+
+// spillFileName addresses a shard's spilled bytes by its fingerprint.
+func spillFileName(key uint64) string {
+	return fmt.Sprintf("shard-%016x.dnac", key)
+}
+
+// openSpillStore opens (or creates) the spill directory and adopts every
+// entry already in it, oldest-first by mtime so a restart preserves the
+// FIFO eviction order. Entries are verified lazily on read, not here:
+// boot must not pay a full-directory checksum scan, and a rotten entry
+// costs exactly one recomputation when it is touched.
+func openSpillStore(dir string, budget int64, logger *slog.Logger) (*spillStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleet: spill dir: %w", err)
+	}
+	if budget <= 0 {
+		budget = 256 << 20
+	}
+	s := &spillStore{dir: dir, budget: budget, slog: logger,
+		fifo: list.New(), ent: make(map[uint64]*list.Element)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: spill dir: %w", err)
+	}
+	type found struct {
+		key   uint64
+		bytes int64
+		mtime int64
+	}
+	var fs []found
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "shard-") || !strings.HasSuffix(name, ".dnac") {
+			continue
+		}
+		var key uint64
+		if _, err := fmt.Sscanf(name, "shard-%16x.dnac", &key); err != nil {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		fs = append(fs, found{key: key, bytes: info.Size(), mtime: info.ModTime().UnixNano()})
+	}
+	sort.Slice(fs, func(i, j int) bool { return fs[i].mtime < fs[j].mtime })
+	for _, f := range fs {
+		s.ent[f.key] = s.fifo.PushBack(&spillEntry{key: f.key, bytes: f.bytes})
+		s.size += f.bytes
+	}
+	s.gcLocked()
+	return s, nil
+}
+
+func inc(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// get reads one spilled shard back, repairing within parity on the way. A
+// damaged or missing entry is dropped and reported as a miss.
+func (s *spillStore) get(key uint64) ([]byte, bool) {
+	s.mu.Lock()
+	_, ok := s.ent[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	path := filepath.Join(s.dir, spillFileName(key))
+	frames, err := durable.ReadContainerFile(path, durable.KindDataset)
+	if err != nil || len(frames) != 1 {
+		s.slog.Warn("dropping unreadable spill entry", "spill", path, "error", err)
+		s.drop(key)
+		return nil, false
+	}
+	inc(s.hits)
+	return frames[0].Payload, true
+}
+
+// put spills one computed shard. Failures are logged and swallowed — the
+// spill is an optimisation, and the computed bytes are already on their
+// way to the caller.
+func (s *spillStore) put(key uint64, data []byte) {
+	s.mu.Lock()
+	_, exists := s.ent[key]
+	s.mu.Unlock()
+	if exists {
+		return
+	}
+	path := filepath.Join(s.dir, spillFileName(key))
+	err := durable.WriteContainerFile(path, durable.KindDataset, durable.Options{Parity: durable.DefaultParity},
+		func(w *durable.Writer) error { return w.WriteFrame("shard", data) })
+	if err != nil {
+		s.slog.Warn("spill write failed", "spill", path, "error", err)
+		return
+	}
+	info, err := os.Stat(path)
+	var bytes int64
+	if err == nil {
+		bytes = info.Size()
+	}
+	inc(s.writes)
+	s.mu.Lock()
+	if _, exists := s.ent[key]; !exists {
+		s.ent[key] = s.fifo.PushBack(&spillEntry{key: key, bytes: bytes})
+		s.size += bytes
+	}
+	s.gcLocked()
+	s.mu.Unlock()
+}
+
+// drop removes one entry (corrupt on read).
+func (s *spillStore) drop(key uint64) {
+	s.mu.Lock()
+	if el, ok := s.ent[key]; ok {
+		e := s.fifo.Remove(el).(*spillEntry)
+		s.size -= e.bytes
+		delete(s.ent, key)
+	}
+	s.mu.Unlock()
+	os.Remove(filepath.Join(s.dir, spillFileName(key)))
+}
+
+// gcLocked evicts oldest-first until the store fits its byte budget.
+// Caller holds s.mu.
+func (s *spillStore) gcLocked() {
+	var victims []uint64
+	for s.size > s.budget && s.fifo.Len() > 1 {
+		e := s.fifo.Remove(s.fifo.Front()).(*spillEntry)
+		s.size -= e.bytes
+		delete(s.ent, e.key)
+		victims = append(victims, e.key)
+	}
+	for _, key := range victims {
+		os.Remove(filepath.Join(s.dir, spillFileName(key)))
+		inc(s.gc)
+	}
+}
+
+// entries returns the resident entry count (for the gauge).
+func (s *spillStore) entries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ent)
+}
