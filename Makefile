@@ -46,10 +46,15 @@ bench:
 	$(GO) run ./cmd/dnabench -json BENCH_sim.json
 
 # Regression gate: re-measure the simulate hot paths and fail on >15%
-# ns/op regression against the committed BENCH_sim.json baseline. The
-# comparison report lands in BENCH_compare.txt (archived by CI). After an
-# intentional perf change, refresh the baseline with `make bench` on the
-# reference machine and commit it.
+# ns/op regression against the committed BENCH_sim.json baseline, or on
+# allocs/op growth (absolute growth past an 8-alloc grace when the
+# baseline is zero-alloc — a fraction of zero can't gate). The
+# channel.transmit/* workloads additionally hard-fail the measurement
+# itself if the default transmit path allocates at all: allocs/op on the
+# packed AppendTransmit kernels must be exactly 0. The comparison report
+# lands in BENCH_compare.txt (archived by CI even when the gate fails).
+# After an intentional perf change, refresh the baseline with `make
+# bench` on the reference machine and commit it.
 bench-check:
 	$(GO) run ./cmd/dnabench -compare BENCH_sim.json -compare-report BENCH_compare.txt
 

@@ -13,6 +13,7 @@ import (
 	"dnastore/internal/channel"
 	"dnastore/internal/dist"
 	"dnastore/internal/dna"
+	"dnastore/internal/rng"
 )
 
 // The -json / -compare benchmark modes: machine-readable measurements of
@@ -46,13 +47,20 @@ type benchResult struct {
 	GOMAXPROCS int    `json:"gomaxprocs"`
 }
 
-// benchWorkload is one named hot-path configuration.
+// benchWorkload is one named hot-path configuration. Most workloads
+// measure Simulator.Simulate end to end via the simulate factory; a
+// workload may instead supply run to measure a narrower path directly
+// (the packed transmit kernels). zeroAlloc marks workloads whose steady
+// state must not allocate at all — the measurement itself fails, in both
+// -json and -compare modes, if allocs/op is nonzero.
 type benchWorkload struct {
-	name     string
-	clusters int
-	refLen   int
-	coverage int
-	simulate func() channel.Simulator
+	name      string
+	clusters  int
+	refLen    int
+	coverage  int
+	simulate  func() channel.Simulator
+	run       func(b *testing.B, seed uint64)
+	zeroAlloc bool
 }
 
 // secondOrderBenchModel builds the paper's full "+ 2nd-order Errors" tier:
@@ -100,25 +108,69 @@ func benchWorkloads() []benchWorkload {
 				}
 			},
 		},
+		// The packed transmit kernels, measured read by read through the
+		// AppendTransmit arena path — the default path every simulation
+		// worker takes. These must run allocation-free: a nonzero allocs/op
+		// means a lost pooling or escape-analysis optimisation, and the
+		// zeroAlloc flag fails the measurement outright rather than relying
+		// on the baseline diff to notice.
+		{
+			name: "channel.transmit/secondorder-append", refLen: 110, coverage: 1, zeroAlloc: true,
+			run: func(b *testing.B, seed uint64) {
+				benchAppendTransmit(b, secondOrderBenchModel(), 110, seed)
+			},
+		},
+		{
+			name: "channel.transmit/dnasimulator-append", refLen: 110, coverage: 1, zeroAlloc: true,
+			run: func(b *testing.B, seed uint64) {
+				benchAppendTransmit(b, channel.NewDNASimulator("bench", channel.DefaultNanoporeDict()), 110, seed)
+			},
+		},
+	}
+}
+
+// benchAppendTransmit measures one channel's AppendTransmit steady state:
+// reference decoded once, output buffer and RNG batch reused from a
+// per-worker Scratch, exactly as simulation workers drive it.
+func benchAppendTransmit(b *testing.B, at channel.AppendTransmitter, refLen int, seed uint64) {
+	ref := channel.RandomReferences(1, refLen, seed)[0]
+	r := rng.New(seed)
+	var scr channel.Scratch
+	codes := scr.RefBases(ref)
+	// Warm outside the timer: plan compilation and output-buffer growth are
+	// one-time costs, not steady state.
+	dst := at.AppendTransmit(nil, codes, r, &scr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = at.AppendTransmit(dst[:0], codes, r, &scr)
 	}
 }
 
 // measure runs one workload under testing.Benchmark.
 func measure(w benchWorkload, seed uint64) (benchResult, error) {
-	refs := channel.RandomReferences(w.clusters, w.refLen, seed)
-	sim := w.simulate()
-	// Warm once outside the measurement so one-time setup (page faults,
-	// plan compilation) doesn't pollute the first iteration.
-	sim.Simulate("bench", refs, seed)
+	var res testing.BenchmarkResult
+	if w.run != nil {
+		res = testing.Benchmark(func(b *testing.B) { w.run(b, seed) })
+	} else {
+		refs := channel.RandomReferences(w.clusters, w.refLen, seed)
+		sim := w.simulate()
+		// Warm once outside the measurement so one-time setup (page faults,
+		// plan compilation) doesn't pollute the first iteration.
+		sim.Simulate("bench", refs, seed)
 
-	res := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			sim.Simulate("bench", refs, seed)
-		}
-	})
+		res = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sim.Simulate("bench", refs, seed)
+			}
+		})
+	}
 	if res.N == 0 {
 		return benchResult{}, fmt.Errorf("benchmark %s did not run", w.name)
+	}
+	if w.zeroAlloc && res.AllocsPerOp() != 0 {
+		return benchResult{}, fmt.Errorf("%s: %d allocs/op on a path that must not allocate", w.name, res.AllocsPerOp())
 	}
 	return benchResult{
 		Name:           w.name,
@@ -185,17 +237,36 @@ func loadBaseline(path string) ([]benchResult, error) {
 	return nil, fmt.Errorf("%s: not a benchmark baseline (array or single object)", path)
 }
 
+// allocGrace is the absolute allocs/op slack the gate always allows: ±a
+// few allocs on a small-count path is measurement jitter (pool misses,
+// map growth timing), not a regression.
+const allocGrace = 8
+
+// allocRegressed reports whether current allocs/op regresses against
+// baseline under the fractional tolerance. A positive baseline gates on
+// the fraction, with allocGrace of absolute slack so ±1 alloc on a
+// 10-alloc path doesn't flake the build. A zero baseline cannot express a
+// fraction — and a zero-alloc path starting to allocate is exactly the
+// regression the gate exists to catch, so dividing by it must not
+// silently disable the gate — so it falls back to absolute growth beyond
+// allocGrace.
+func allocRegressed(baseline, current int64, tolerance float64) bool {
+	if baseline <= 0 {
+		return current > allocGrace
+	}
+	return float64(current-baseline)/float64(baseline) > tolerance && current-baseline > allocGrace
+}
+
 // compareBench measures every workload, diffs ns/op and allocs/op against
 // the baseline at path, and renders a report. It returns an error listing
 // every workload whose ns/op regressed by more than tolerance (fractional,
-// e.g. 0.15 = +15%), or whose allocs/op grew by more than the same
-// fraction — allocation count is deterministic enough to gate tightly,
-// and a regression there is usually a lost pooling or escape-analysis
-// optimisation that ns/op noise can mask. Tiny workloads get an absolute
-// grace of 8 allocs so ±1 alloc on a 10-alloc path doesn't flake the
-// build. Baseline entries with no current counterpart — and new workloads
-// absent from the baseline — are reported but never fail the gate, so
-// workloads can be added or retired without breaking the build.
+// e.g. 0.15 = +15%), or whose allocs/op regressed per allocRegressed —
+// allocation count is deterministic enough to gate tightly, and a
+// regression there is usually a lost pooling or escape-analysis
+// optimisation that ns/op noise can mask. Baseline entries with no
+// current counterpart — and new workloads absent from the baseline — are
+// reported but never fail the gate, so workloads can be added or retired
+// without breaking the build.
 func compareBench(baselinePath, reportPath string, tolerance float64, seed uint64) error {
 	baseline, err := loadBaseline(baselinePath)
 	if err != nil {
@@ -229,17 +300,22 @@ func compareBench(baselinePath, reportPath string, tolerance float64, seed uint6
 			regressions = append(regressions,
 				fmt.Sprintf("%s: %d -> %d ns/op (%+.1f%%)", c.Name, b.NsPerOp, c.NsPerOp, delta*100))
 		}
-		allocDelta := 0.0
+		// Render the alloc delta fractionally when the baseline can express
+		// one, absolutely when it is zero (0 -> N is an infinite fraction).
+		allocCol := ""
 		if b.AllocsPerOp > 0 {
-			allocDelta = float64(c.AllocsPerOp-b.AllocsPerOp) / float64(b.AllocsPerOp)
+			allocDelta := float64(c.AllocsPerOp-b.AllocsPerOp) / float64(b.AllocsPerOp)
+			allocCol = fmt.Sprintf("%+8.1f%%", allocDelta*100)
+		} else {
+			allocCol = fmt.Sprintf("%+9d", c.AllocsPerOp-b.AllocsPerOp)
 		}
-		if allocDelta > tolerance && c.AllocsPerOp-b.AllocsPerOp > 8 {
+		if allocRegressed(b.AllocsPerOp, c.AllocsPerOp, tolerance) {
 			verdict = "  REGRESSION"
 			regressions = append(regressions,
-				fmt.Sprintf("%s: %d -> %d allocs/op (%+.1f%%)", c.Name, b.AllocsPerOp, c.AllocsPerOp, allocDelta*100))
+				fmt.Sprintf("%s: %d -> %d allocs/op (%s)", c.Name, b.AllocsPerOp, c.AllocsPerOp, strings.TrimSpace(allocCol)))
 		}
-		fmt.Fprintf(&report, "%-40s %14d %14d %+8.1f%% %12.0f %12d %+8.1f%%%s\n",
-			c.Name, b.NsPerOp, c.NsPerOp, delta*100, c.ClustersPerSec, c.AllocsPerOp, allocDelta*100, verdict)
+		fmt.Fprintf(&report, "%-40s %14d %14d %+8.1f%% %12.0f %12d %s%s\n",
+			c.Name, b.NsPerOp, c.NsPerOp, delta*100, c.ClustersPerSec, c.AllocsPerOp, allocCol, verdict)
 		delete(base, c.Name)
 	}
 	for name := range base {

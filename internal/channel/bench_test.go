@@ -35,6 +35,36 @@ func benchTransmit(b *testing.B, ch Channel) {
 	})
 }
 
+func BenchmarkAppendTransmitNaive(b *testing.B) {
+	m := NewNaive("bench", Rates{Sub: 0.01, Ins: 0.005, Del: 0.02})
+	benchAppendTransmit(b, m)
+}
+
+func BenchmarkAppendTransmitSecondOrderSpatial(b *testing.B) {
+	benchAppendTransmit(b, goldenModelSecondOrder())
+}
+
+func BenchmarkAppendTransmitDNASimulator(b *testing.B) {
+	benchAppendTransmit(b, NewDNASimulator("bench", DefaultNanoporeDict()))
+}
+
+// benchAppendTransmit measures the arena fast path exactly as a
+// simulation worker drives it: reference decoded once, output and batch
+// buffers reused. These paths must report 0 allocs/op — CI asserts it
+// through the dnabench zero-alloc workloads.
+func benchAppendTransmit(b *testing.B, at AppendTransmitter) {
+	ref := RandomReferences(1, 110, 42)[0]
+	r := rng.New(99)
+	var scr Scratch
+	codes := scr.RefBases(ref)
+	dst := at.AppendTransmit(nil, codes, r, &scr) // warm plan cache and buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = at.AppendTransmit(dst[:0], codes, r, &scr)
+	}
+}
+
 // BenchmarkSimulateSecondOrderSpatial is the acceptance-gate workload: a
 // full clustered simulation of the second-order + spatial model under
 // heavy-tailed coverage. clusters/s = clusters · 1e9 / (ns/op).

@@ -68,41 +68,86 @@ func (s *DNASimulator) Name() string {
 // bases are uniform over all four bases — including, for substitutions,
 // the original base, one of the modelling deficiencies §2.2.3 documents.
 //
-// The cumulative thresholds are hoisted out of the position loop: they are
-// the same float sums (same operand order) Algorithm 1 computed inline, so
-// output is byte-identical, but each is now added once per call instead of
-// three times per position.
+// Transmit wraps the AppendTransmit fast path in a pooled arena; like
+// Model.Transmit, the only allocation left is the immutable result Strand.
 func (s *DNASimulator) Transmit(ref dna.Strand, r *rng.RNG) dna.Strand {
-	out := make([]byte, 0, ref.Len()+4)
+	if ref.Len() == 0 {
+		return ref
+	}
+	scr := scratchPool.Get().(*Scratch)
+	scr.out = s.AppendTransmit(scr.out[:0], scr.RefBases(ref), r, scr)
+	out := dna.Strand(scr.out)
+	scratchPool.Put(scr)
+	return out
+}
+
+// AppendTransmit implements AppendTransmitter for the Algorithm 1
+// baseline. The cumulative thresholds are hoisted out of the position
+// loop and converted to integer draw-grid form (the same exact
+// equivalence plan.go documents: u < t ⟺ bits < ceil(t*2^53)), so output
+// is byte-identical to the inline float sums Algorithm 1 computed; draws
+// come straight out of the arena's batched RNG block and the generator is
+// backstepped to the exact per-draw stream position afterwards.
+func (s *DNASimulator) AppendTransmit(dst []byte, ref []dna.Base, r *rng.RNG, scr *Scratch) []byte {
+	if len(ref) == 0 {
+		return dst
+	}
 	burst := s.LongDelLen
 	if burst < 2 {
 		burst = 2
 	}
-	var thr [dna.NumBases][4]float64
+	var thr [dna.NumBases][4]uint64
 	for b, e := range s.Errors {
-		thr[b] = [4]float64{e.Sub, e.Sub + e.Ins, e.Sub + e.Ins + e.Del, e.Sub + e.Ins + e.Del + e.LongDel}
+		thr[b] = [4]uint64{
+			thrBits(e.Sub),
+			thrBits(e.Sub + e.Ins),
+			thrBits(e.Sub + e.Ins + e.Del),
+			thrBits(e.Sub + e.Ins + e.Del + e.LongDel),
+		}
 	}
-	for i := 0; i < ref.Len(); {
-		b := ref.At(i)
+	if need := len(dst) + len(ref) + 4; cap(dst) < need {
+		grown := make([]byte, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
+	d := &scr.batch
+	d.Bind(r, len(ref)+8)
+	blk := d.NextBlock()
+	j := 0
+	for i := 0; i < len(ref); {
+		if j == len(blk) {
+			d.Skip(j)
+			blk = d.NextBlock()
+			j = 0
+		}
+		b := ref[i]
 		t := &thr[b]
-		u := r.Float64()
+		bits := blk[j] >> 11
+		j++
 		switch {
-		case u >= t[3]:
-			out = append(out, b.Byte())
+		case bits >= t[3]:
+			dst = append(dst, b.Byte())
 			i++
-		case u < t[0]:
-			out = append(out, dna.Base(r.Intn(dna.NumBases)).Byte())
+		case bits < t[0]:
+			// Commit local consumption before the Intn draw.
+			d.Skip(j)
+			dst = append(dst, dna.Base(d.Intn(dna.NumBases)).Byte())
+			blk, j = d.NextBlock(), 0
 			i++
-		case u < t[1]:
-			out = append(out, b.Byte(), dna.Base(r.Intn(dna.NumBases)).Byte())
+		case bits < t[1]:
+			d.Skip(j)
+			dst = append(dst, b.Byte(), dna.Base(d.Intn(dna.NumBases)).Byte())
+			blk, j = d.NextBlock(), 0
 			i++
-		case u < t[2]:
+		case bits < t[2]:
 			i++
 		default:
 			i += burst
 		}
 	}
-	return dna.Strand(out)
+	d.Skip(j)
+	d.Unbind()
+	return dst
 }
 
 // AggregateRate returns the mean dictionary total across bases.

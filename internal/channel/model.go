@@ -2,7 +2,6 @@ package channel
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"dnastore/internal/align"
@@ -83,6 +82,14 @@ type Model struct {
 	// model. Their rates are *in addition to* PerBase; calibration shrinks
 	// PerBase so the aggregate stays fixed.
 	SecondOrder []SecondOrderError
+	// FastRNGOrder opts in to batched draw accounting: the RNG is left
+	// wherever the batched fill put it instead of being backstepped to the
+	// exact per-draw position after each read. Output is still
+	// deterministic per seed, but the stream no longer matches unbatched
+	// draw-for-draw accounting — so golden hashes recorded with the flag
+	// off will not reproduce with it on. Leave false (the default) unless
+	// profiling shows the Unbind rewind matters; see DESIGN.md §15.
+	FastRNGOrder bool
 
 	// plans caches one compiled transmission plan per strand length in a
 	// copy-on-write map (see plan.go): Transmit reads it with a single
@@ -90,9 +97,6 @@ type Model struct {
 	// replaced, it assumes the model's parameter fields are not mutated
 	// after the first Transmit.
 	plans atomic.Pointer[map[int]*txPlan]
-	// bufPool recycles per-read output scratch buffers, sized by the
-	// plan's expected-output capacity hint.
-	bufPool sync.Pool
 }
 
 // Name implements Channel.
@@ -141,70 +145,54 @@ const maxPositionRate = 0.99
 // substitution, generic insertion (ref base emitted, extra base appended),
 // generic deletion, long deletion (burst of >= 2 bases), else faithful copy.
 //
-// The hot path runs off a compiled per-length plan (plan.go): one atomic
-// load to fetch the plan, then per position one uniform draw and one
-// comparison against the precomputed faithful-copy boundary; the threshold
-// walk only happens on the rare error positions. Output is byte-identical
-// to transmitReference below — the same RNG draws against bitwise-equal
-// thresholds — as enforced by the golden-seed and differential tests.
+// Transmit is the convenience wrapper over AppendTransmit: it borrows a
+// pooled arena, decodes the reference once, runs the append fast path and
+// materialises the immutable result Strand — the one allocation this path
+// cannot avoid. Callers that transmit the same reference repeatedly (a
+// cluster) should hold their own Scratch and call AppendTransmit directly,
+// as simulateCluster does; that path allocates nothing.
 func (m *Model) Transmit(ref dna.Strand, r *rng.RNG) dna.Strand {
-	length := ref.Len()
-	if length == 0 {
+	if ref.Len() == 0 {
 		return ref
 	}
-	p := m.plan(length)
-	buf := m.getBuf(p.capHint)
-	out := buf
-	mask := p.posMask
-	for i := 0; i < length; {
-		b := ref.At(i)
-		bp := &p.pos[i&mask][b]
-		u := r.Float64()
-		if u >= bp.thrLong {
-			// Faithful copy — the overwhelmingly common case.
-			out = append(out, b.Byte())
-			i++
-			continue
-		}
-		if bp.soStart < bp.soEnd {
-			matched := false
-			for e := bp.soStart; e < bp.soEnd; e++ {
-				ev := &p.soEvents[e]
-				if u < ev.thr {
-					switch ev.kind {
-					case align.Sub:
-						out = append(out, ev.to)
-						i++
-					case align.Del:
-						i++
-					case align.Ins:
-						out = append(out, b.Byte(), ev.to)
-						i++
-					}
-					matched = true
-					break
-				}
-			}
-			if matched {
-				continue
-			}
-		}
-		switch {
-		case u < bp.thrSub:
-			out = append(out, p.sub[b].sample(b, r))
-			i++
-		case u < bp.thrIns:
-			out = append(out, b.Byte(), p.ins.sample(r))
-			i++
-		case u < bp.thrDel:
-			i++
-		default: // u < bp.thrLong: long deletion
-			i += p.longDel.sample(r)
-		}
-	}
-	s := dna.Strand(out)
-	m.putBuf(out)
+	scr := scratchPool.Get().(*Scratch)
+	scr.out = m.AppendTransmit(scr.out[:0], scr.RefBases(ref), r, scr)
+	s := dna.Strand(scr.out)
+	scratchPool.Put(scr)
 	return s
+}
+
+// AppendTransmit implements AppendTransmitter: the zero-allocation
+// transmit fast path. The reference arrives as 2-bit base codes (decode
+// once per cluster with Scratch.RefBases), the noisy read is appended to
+// dst as ASCII bytes, and all randomness flows through the arena's
+// batched RNG block — filled in bulk up front, then backstepped past the
+// unconsumed draws so the generator's stream position is exactly what
+// per-call draws would have left (unless FastRNGOrder opts out of the
+// rewind). The hot loop itself lives in txPlan.appendTransmit (plan.go).
+//
+// Output bytes and draw accounting are identical to transmitReference —
+// the golden-seed and differential suites enforce this byte-for-byte.
+func (m *Model) AppendTransmit(dst []byte, ref []dna.Base, r *rng.RNG, scr *Scratch) []byte {
+	length := len(ref)
+	if length == 0 {
+		return dst
+	}
+	p := m.plan(length)
+	if need := len(dst) + p.capHint; cap(dst) < need {
+		grown := make([]byte, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
+	d := &scr.batch
+	d.Bind(r, length+8)
+	dst = p.appendTransmit(dst, ref, d)
+	if m.FastRNGOrder {
+		d.Discard()
+	} else {
+		d.Unbind()
+	}
+	return dst
 }
 
 // transmitReference is the original, uncompiled implementation of
@@ -394,17 +382,18 @@ func (m *Model) WithSecondOrder(errors []SecondOrderError) *Model {
 	return out
 }
 
-// shallowCopy duplicates the model without its compiled-plan cache or
-// scratch pool; the copy compiles fresh plans on first Transmit.
+// shallowCopy duplicates the model without its compiled-plan cache; the
+// copy compiles fresh plans on first Transmit.
 func (m *Model) shallowCopy() *Model {
 	out := &Model{
-		Label:       m.Label,
-		PerBase:     m.PerBase,
-		SubMatrix:   m.SubMatrix,
-		InsDist:     m.InsDist,
-		LongDel:     m.LongDel,
-		Spatial:     m.Spatial,
-		SecondOrder: append([]SecondOrderError(nil), m.SecondOrder...),
+		Label:        m.Label,
+		PerBase:      m.PerBase,
+		SubMatrix:    m.SubMatrix,
+		InsDist:      m.InsDist,
+		LongDel:      m.LongDel,
+		Spatial:      m.Spatial,
+		SecondOrder:  append([]SecondOrderError(nil), m.SecondOrder...),
+		FastRNGOrder: m.FastRNGOrder,
 	}
 	out.LongDel.LengthWeights = append([]float64(nil), m.LongDel.LengthWeights...)
 	return out

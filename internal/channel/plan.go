@@ -21,21 +21,42 @@ import (
 // silently bias (the drift hazard fixed by this file: there is now exactly
 // one shared table).
 //
-// A txPlan precomputes, for one strand length, everything Transmit needs:
-// per-(position, base) cumulative event thresholds — second-order slices
-// first, then the generic substitution / insertion / deletion /
+// A txPlan precomputes, for one strand length, everything transmission
+// needs: per-(position, base) cumulative event thresholds — second-order
+// slices first, then the generic substitution / insertion / deletion /
 // long-deletion boundaries — already scaled by the maxPositionRate clamp,
 // plus position-independent samplers for the confusion matrix, the
-// insertion distribution and the long-deletion length. The per-position
-// loop becomes: one Float64 draw, one comparison against the faithful-copy
-// boundary, and (rarely, on an error event) a short threshold walk.
+// insertion distribution and the long-deletion length. The hot loop
+// (appendTransmit) runs over 2-bit base codes from a per-worker arena and
+// consumes raw 64-bit draws straight out of the batched RNG block; the
+// overwhelmingly common faithful-copy case is one table load and one
+// integer compare, and every rare-event selection is a branchless binary
+// search (lowerBound) instead of a linear threshold walk.
+//
+// Integer draw space. RNG.Float64 produces exactly the grid
+// {k/2^53 : 0 <= k < 2^53}, with k = Uint64()>>11. For any threshold
+// t in [0, 1), the product t*2^53 is a power-of-two scaling — exact in
+// IEEE-754, never rounded — so
+//
+//	Float64() < t  ⟺  Uint64()>>11 < ceil(t*2^53)
+//
+// holds exactly, for every draw and every threshold. compilePlan therefore
+// converts every cumulative threshold to its integer grid form (thrBits)
+// once, and the hot loop never touches a float: no int→float conversion,
+// no multiply, just a shift and an integer compare per position.
 //
 // RNG-draw preservation contract: a compiled plan consumes exactly the
-// same RNG draws, in the same order, with bitwise-identical comparison
-// thresholds, as the reference implementation (transmitReference in
-// model.go). Every float expression in compilePlan mirrors the reference
-// expression shape — same operand order, same associativity — so the
-// thresholds are equal as IEEE-754 values, not merely approximately. The
+// same RNG draws, in the same order, against selection boundaries exactly
+// equivalent to the reference implementation's (transmitReference in
+// model.go). The cumulative-threshold tables mirror the reference float
+// expression shapes (same operand order, same associativity) before the
+// exact grid conversion above. The rare-event samplers are subtler: the
+// reference selects by a subtraction chain (u -= w; if u < 0), whose
+// float rounding a naive cumulative-sum search would not reproduce.
+// compilePlan therefore bisects the 2^53-point draw grid against the
+// reference chain itself (drawBoundary) and stores the exact grid
+// boundary of every outcome, making binary search equal to the linear
+// walk for every possible draw — not merely almost all of them. The
 // golden-seed and differential tests in plan_test.go / golden_test.go
 // enforce this byte-for-byte.
 //
@@ -45,13 +66,87 @@ import (
 // losing compile) on contention. Models must not be mutated after the
 // first Transmit — the same assumption the old mutex-guarded caches made.
 
+// drawGrid is the number of representable RNG.Float64 outputs: the draw
+// u = float64(x>>11) / 2^53 ranges over exactly the grid {k/2^53}.
+const drawGrid = 1 << 53
+
+// thrBits converts a probability threshold to its exact integer grid
+// boundary: bits < thrBits(t) ⟺ float64(bits)/2^53 < t for every
+// bits < 2^53 (see the package comment). Thresholds at or above 1 map to
+// drawGrid, which every draw is below — matching u < t always holding.
+func thrBits(t float64) uint64 {
+	if t >= 1 {
+		return drawGrid
+	}
+	if t <= 0 {
+		return 0
+	}
+	return uint64(math.Ceil(t * drawGrid))
+}
+
+// lowerBound returns the smallest i with u < a[i], or len(a) when u is at
+// or above every element. a must be sorted in non-decreasing order. The
+// loop shape (conditional add, no data-dependent branches in the body) is
+// the branchless binary search the rare-event samplers run per draw.
+func lowerBound(a []uint64, u uint64) int {
+	base, n := 0, len(a)
+	for n > 1 {
+		half := n / 2
+		if a[base+half-1] <= u {
+			base += half
+		}
+		n -= half
+	}
+	if n == 1 && a[base] <= u {
+		base++
+	}
+	return base
+}
+
+// drawBoundary bisects the draw grid for the smallest representable draw
+// at which pred flips to true, and returns its grid index. pred must be
+// monotone in the draw (false below the boundary, true at and above it).
+// Returns 0 when pred holds everywhere and drawGrid when it holds
+// nowhere — drawGrid is above every possible draw, so a lowerBound
+// against it always selects, and 0 is below none, so it never does.
+func drawBoundary(pred func(u float64) bool) uint64 {
+	lo, hi := uint64(0), uint64(drawGrid)
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if pred(float64(mid) / drawGrid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// chainBoundaries computes, for each outcome j of a reference-style
+// subtraction chain (u := draw*total; u -= w[0..j]; selected at first
+// u < 0), the exact grid boundary below which outcome <= j is selected.
+// The chain is evaluated with the reference's own float arithmetic inside
+// the bisection predicate, so the boundaries are exact for every
+// representable draw, including ones where naive cumulative sums would
+// round the other way. dst must have len(weights) slots.
+func chainBoundaries(dst []uint64, weights []float64, total float64) {
+	for j := range weights {
+		j := j
+		dst[j] = drawBoundary(func(f float64) bool {
+			u := f * total
+			for k := 0; k <= j; k++ {
+				u -= weights[k]
+			}
+			return u >= 0 // chain survived: selection is beyond outcome j
+		})
+	}
+}
+
 // planEvent is one applicable second-order error at one (position, base):
-// its cumulative scaled threshold and the action to take when it fires.
+// the action to take when it fires. Its cumulative threshold lives in the
+// parallel txPlan.soThr table, kept separate so the per-draw binary
+// search touches a dense integer array.
 type planEvent struct {
-	// thr is the cumulative probability threshold: the event fires when the
-	// position's uniform draw is below thr and at or above the previous
-	// event's thr.
-	thr float64
 	// kind is align.Sub, align.Del or align.Ins.
 	kind align.OpKind
 	// to is the emitted base byte (substitution replacement or inserted
@@ -59,15 +154,16 @@ type planEvent struct {
 	to byte
 }
 
-// basePlan holds the compiled thresholds for one (position, base) pair.
-// The boundaries are cumulative: soEvents' thresholds < thrSub < thrIns <
-// thrDel < thrLong (non-strictly), and a draw at or above thrLong is a
-// faithful copy.
+// basePlan holds the compiled thresholds for one (position, base) pair,
+// in integer grid form. The boundaries are cumulative: soThr's entries <
+// thrSub < thrIns < thrDel < thrLong (non-strictly), and a draw at or
+// above thrLong is a faithful copy.
 type basePlan struct {
-	// soStart and soEnd delimit this cell's slice of txPlan.soEvents.
+	// soStart and soEnd delimit this cell's slice of txPlan.soEvents and
+	// txPlan.soThr.
 	soStart, soEnd int32
-	// Generic-event boundaries, pre-scaled by the clamp factor.
-	thrSub, thrIns, thrDel, thrLong float64
+	// Generic-event grid boundaries, pre-scaled by the clamp factor.
+	thrSub, thrIns, thrDel, thrLong uint64
 }
 
 // subSampler draws the replacement base for a substitution of one specific
@@ -75,11 +171,10 @@ type basePlan struct {
 type subSampler struct {
 	// uniform is true when the confusion row is all-zero: one Intn(3) draw.
 	uniform bool
-	// total is the row sum over the three other bases, in base order.
-	total float64
-	// row and bases are the weights and output bytes of the three
-	// candidate bases, in base order.
-	row   [dna.NumBases - 1]float64
+	// cdf holds the exact grid selection boundaries of the three
+	// candidate bases (chainBoundaries over the confusion row).
+	cdf [dna.NumBases - 1]uint64
+	// bases holds the candidate output bytes, in base order.
 	bases [dna.NumBases - 1]byte
 	// fallback is the numerically-unreachable overflow result
 	// (b.Complement(), kept for bitwise compatibility with the reference).
@@ -87,21 +182,17 @@ type subSampler struct {
 }
 
 // sample draws the replacement byte.
-func (s *subSampler) sample(b dna.Base, r *rng.RNG) byte {
+func (s *subSampler) sample(b dna.Base, d *rng.Batch) byte {
 	if s.uniform {
-		k := r.Intn(dna.NumBases - 1)
+		k := d.Intn(dna.NumBases - 1)
 		c := dna.Base(k)
 		if c >= b {
 			c++
 		}
 		return c.Byte()
 	}
-	u := r.Float64() * s.total
-	for j, w := range s.row {
-		u -= w
-		if u < 0 {
-			return s.bases[j]
-		}
+	if j := lowerBound(s.cdf[:], d.Uint64()>>11); j < len(s.bases) {
+		return s.bases[j]
 	}
 	return s.fallback
 }
@@ -111,48 +202,41 @@ func (s *subSampler) sample(b dna.Base, r *rng.RNG) byte {
 type insSampler struct {
 	// uniform is true when InsDist is all-zero: one Intn(4) draw.
 	uniform bool
-	// total and row mirror the insertion distribution.
-	total float64
-	row   [dna.NumBases]float64
+	// cdf holds the exact grid boundaries of the four bases.
+	cdf [dna.NumBases]uint64
 }
 
 // sample draws the inserted byte.
-func (s *insSampler) sample(r *rng.RNG) byte {
+func (s *insSampler) sample(d *rng.Batch) byte {
 	if s.uniform {
-		return dna.Base(r.Intn(dna.NumBases)).Byte()
+		return dna.Base(d.Intn(dna.NumBases)).Byte()
 	}
-	u := r.Float64() * s.total
-	for c, w := range s.row {
-		u -= w
-		if u < 0 {
-			return dna.Base(c).Byte()
-		}
+	j := lowerBound(s.cdf[:], d.Uint64()>>11)
+	if j == dna.NumBases {
+		j = dna.NumBases - 1 // reference falls through to the last base
 	}
-	return dna.Base(dna.NumBases - 1).Byte()
+	return dna.Base(j).Byte()
 }
 
 // longDelSampler draws a burst length, reproducing
 // LongDeletion.sampleLen draw-for-draw.
 type longDelSampler struct {
-	// weights is nil when no length distribution is set (no draw consumed).
-	weights []float64
-	total   float64
-	minLen  int
+	// cdf holds the exact grid boundaries of each burst length;
+	// nil when no length distribution is set (no draw consumed).
+	cdf    []uint64
+	minLen int
 }
 
 // sample draws the burst length.
-func (s *longDelSampler) sample(r *rng.RNG) int {
-	if len(s.weights) == 0 || s.total <= 0 {
+func (s *longDelSampler) sample(d *rng.Batch) int {
+	if s.cdf == nil {
 		return s.minLen
 	}
-	u := r.Float64() * s.total
-	for k, w := range s.weights {
-		u -= w
-		if u < 0 {
-			return s.minLen + k
-		}
+	k := lowerBound(s.cdf, d.Uint64()>>11)
+	if k == len(s.cdf) {
+		k = len(s.cdf) - 1 // reference falls through to the longest burst
 	}
-	return s.minLen + len(s.weights) - 1
+	return s.minLen + k
 }
 
 // txPlan is the compiled transmission plan for one strand length.
@@ -165,9 +249,17 @@ type txPlan struct {
 	// branch-free.
 	pos     [][dna.NumBases]basePlan
 	posMask int
-	// soEvents is the shared flat table every basePlan slices into — the
-	// single source of truth that replaces the old twin accumulation loops.
+	// copyThr is the flat faithful-copy boundary table, one grid value per
+	// (position, base) cell at index (i&posMask)*NumBases + base. The hot
+	// loop's common case is a single load and integer compare against it,
+	// with no basePlan struct access at all.
+	copyThr []uint64
+	// soEvents and soThr are the shared flat tables every basePlan slices
+	// into — the single source of truth that replaces the old twin
+	// accumulation loops. soThr[k] is the grid threshold below which
+	// event soEvents[k] (or an earlier one) fires.
 	soEvents []planEvent
+	soThr    []uint64
 	// Samplers for the rare event paths.
 	sub     [dna.NumBases]subSampler
 	ins     insSampler
@@ -177,6 +269,107 @@ type txPlan struct {
 	// old flat length+4 (which under-provisioned insertion-heavy models,
 	// forcing an append regrow on nearly every read).
 	capHint int
+}
+
+// appendTransmit is the transmit hot loop: 2-bit base codes in, ASCII
+// bytes appended to dst, all randomness from the batched block d. Output
+// bytes and draw consumption are identical to transmitReference on the
+// same stream — see the package comment above for why each construct
+// preserves that.
+//
+// The loop consumes raw draws directly out of the batch's block (blk/j),
+// so the steady state makes no function calls at all; local consumption
+// is committed with Skip before the rare event paths (rareEvent) hand the
+// batch to a sampler, keeping the stream in order. The loop is
+// specialised on positional uniformity: the uniform case compares against
+// four thresholds held in a local array, the positional case streams
+// through the flat copyThr table. Both shapes keep every index expression
+// transparently in-bounds so the compiler drops the checks.
+func (p *txPlan) appendTransmit(dst []byte, ref []dna.Base, d *rng.Batch) []byte {
+	blk := d.NextBlock()
+	j := 0
+	if p.posMask == 0 {
+		var ct [dna.NumBases]uint64
+		copy(ct[:], p.copyThr)
+		for i := 0; i < len(ref); {
+			if j >= len(blk) {
+				d.Skip(j)
+				blk, j = d.NextBlock(), 0
+				continue
+			}
+			b := ref[i] & 3
+			bits := blk[j] >> 11
+			j++
+			if bits >= ct[b] {
+				// Faithful copy — the overwhelmingly common case.
+				dst = append(dst, b.Byte())
+				i++
+				continue
+			}
+			d.Skip(j)
+			var adv int
+			dst, adv = p.rareEvent(dst, 0, b, bits, d)
+			i += adv
+			blk, j = d.NextBlock(), 0
+		}
+	} else {
+		ct := p.copyThr
+		for i := 0; i < len(ref); {
+			if j >= len(blk) {
+				d.Skip(j)
+				blk, j = d.NextBlock(), 0
+				continue
+			}
+			b := ref[i] & 3
+			bits := blk[j] >> 11
+			j++
+			if bits >= ct[i*dna.NumBases+int(b)] {
+				dst = append(dst, b.Byte())
+				i++
+				continue
+			}
+			d.Skip(j)
+			var adv int
+			dst, adv = p.rareEvent(dst, i, b, bits, d)
+			i += adv
+			blk, j = d.NextBlock(), 0
+		}
+	}
+	d.Skip(j)
+	return dst
+}
+
+// rareEvent resolves one sub-copy-threshold draw at position class cell
+// for base b: the cell's second-order events first (binary search over
+// the shared cumulative table), then the generic four-way split. It
+// returns the extended output and the number of reference positions
+// consumed. The caller has already committed the position draw, so the
+// samplers' own draws follow it in exact stream order.
+func (p *txPlan) rareEvent(dst []byte, cell int, b dna.Base, bits uint64, d *rng.Batch) ([]byte, int) {
+	bp := &p.pos[cell][b&3]
+	if bp.soStart < bp.soEnd {
+		e := int(bp.soStart) + lowerBound(p.soThr[bp.soStart:bp.soEnd], bits)
+		if e < int(bp.soEnd) {
+			// align.Del emits nothing, so it has no case below.
+			switch ev := &p.soEvents[e]; ev.kind {
+			case align.Sub:
+				dst = append(dst, ev.to)
+			case align.Ins:
+				dst = append(dst, b.Byte(), ev.to)
+			}
+			return dst, 1
+		}
+	}
+	switch {
+	case bits < bp.thrSub:
+		return append(dst, p.sub[b&3].sample(b, d)), 1
+	case bits < bp.thrIns:
+		return append(dst, b.Byte(), p.ins.sample(d)), 1
+	case bits < bp.thrDel:
+		return dst, 1
+	default: // bits < bp.thrLong: long deletion
+		return dst, p.longDel.sample(d)
+	}
 }
 
 // plan returns the compiled plan for the given length, compiling and
@@ -209,9 +402,11 @@ func (m *Model) plan(length int) *txPlan {
 }
 
 // compilePlan builds the per-position threshold tables for one length.
-// Every arithmetic expression below deliberately mirrors the reference
+// Every float expression below deliberately mirrors the reference
 // implementation's shape (operand order and associativity) so thresholds
-// are bitwise-equal to the ones the reference computes at runtime.
+// are bitwise-equal to the ones the reference computes at runtime before
+// the exact thrBits grid conversion; the sampler boundary tables go
+// further and bisect the reference chains themselves (chainBoundaries).
 func (m *Model) compilePlan(length int) *txPlan {
 	mult := m.multipliers(length)
 	soMult := m.secondOrderMults(length)
@@ -226,6 +421,7 @@ func (m *Model) compilePlan(length int) *txPlan {
 		p.posMask = ^0
 	}
 	p.pos = make([][dna.NumBases]basePlan, nPos)
+	p.copyThr = make([]uint64, nPos*dna.NumBases)
 
 	expIns := 0.0 // expected insertions per read, assuming uniform bases
 	for i := 0; i < nPos; i++ {
@@ -266,7 +462,8 @@ func (m *Model) compilePlan(length int) *txPlan {
 					w = soMult[k][i]
 				}
 				acc += e.Rate * w * scale
-				p.soEvents = append(p.soEvents, planEvent{thr: acc, kind: e.Kind, to: e.To.Byte()})
+				p.soEvents = append(p.soEvents, planEvent{kind: e.Kind, to: e.To.Byte()})
+				p.soThr = append(p.soThr, thrBits(acc))
 				if e.Kind == align.Ins {
 					soIns += e.Rate * w * scale
 				}
@@ -274,11 +471,12 @@ func (m *Model) compilePlan(length int) *txPlan {
 			p.pos[i][b] = basePlan{
 				soStart: soStart,
 				soEnd:   int32(len(p.soEvents)),
-				thrSub:  acc + rates.Sub*scale,
-				thrIns:  acc + (rates.Sub+rates.Ins)*scale,
-				thrDel:  acc + (rates.Sub+rates.Ins+rates.Del)*scale,
-				thrLong: acc + (rates.Total()+longDel)*scale,
+				thrSub:  thrBits(acc + rates.Sub*scale),
+				thrIns:  thrBits(acc + (rates.Sub+rates.Ins)*scale),
+				thrDel:  thrBits(acc + (rates.Sub+rates.Ins+rates.Del)*scale),
+				thrLong: thrBits(acc + (rates.Total()+longDel)*scale),
 			}
+			p.copyThr[i*dna.NumBases+int(b)] = p.pos[i][b].thrLong
 			expIns += (rates.Ins*scale + soIns) / dna.NumBases
 		}
 	}
@@ -286,34 +484,44 @@ func (m *Model) compilePlan(length int) *txPlan {
 		expIns *= float64(length)
 	}
 
-	// Position-independent samplers.
+	// Position-independent samplers. Each chain passed to chainBoundaries
+	// replicates the weight order of the matching reference sampler.
 	for b := dna.Base(0); b < dna.NumBases; b++ {
 		s := &p.sub[b]
+		var row [dna.NumBases - 1]float64
+		total := 0.0
 		j := 0
 		for c := dna.Base(0); c < dna.NumBases; c++ {
 			if c == b {
 				continue
 			}
-			s.row[j] = m.SubMatrix[b][c]
+			row[j] = m.SubMatrix[b][c]
 			s.bases[j] = c.Byte()
-			s.total += m.SubMatrix[b][c]
+			total += m.SubMatrix[b][c]
 			j++
 		}
-		s.uniform = s.total <= 0
+		s.uniform = total <= 0
 		s.fallback = b.Complement().Byte()
+		if !s.uniform {
+			chainBoundaries(s.cdf[:], row[:], total)
+		}
 	}
 	insTotal := 0.0
 	for _, w := range m.InsDist {
 		insTotal += w
 	}
-	p.ins = insSampler{uniform: insTotal <= 0, total: insTotal, row: m.InsDist}
+	p.ins.uniform = insTotal <= 0
+	if !p.ins.uniform {
+		chainBoundaries(p.ins.cdf[:], m.InsDist[:], insTotal)
+	}
 	ldTotal := 0.0
 	for _, w := range m.LongDel.LengthWeights {
 		ldTotal += w
 	}
-	p.longDel = longDelSampler{minLen: m.LongDel.minLen(), total: ldTotal}
-	if ldTotal > 0 {
-		p.longDel.weights = append([]float64(nil), m.LongDel.LengthWeights...)
+	p.longDel.minLen = m.LongDel.minLen()
+	if ldTotal > 0 && len(m.LongDel.LengthWeights) > 0 {
+		p.longDel.cdf = make([]uint64, len(m.LongDel.LengthWeights))
+		chainBoundaries(p.longDel.cdf, m.LongDel.LengthWeights, ldTotal)
 	}
 
 	p.capHint = length + 4 + int(math.Ceil(expIns+4*math.Sqrt(expIns)))
@@ -365,24 +573,6 @@ func (m *Model) secondOrderMults(length int) [][]float64 {
 		out[k] = mult
 	}
 	return out
-}
-
-// getBuf returns a scratch output buffer with at least capHint capacity,
-// reusing a pooled one when possible. The buffer is copied into the
-// immutable Strand before putBuf returns it to the pool.
-func (m *Model) getBuf(capHint int) []byte {
-	if v := m.bufPool.Get(); v != nil {
-		b := *(v.(*[]byte))
-		if cap(b) >= capHint {
-			return b[:0]
-		}
-	}
-	return make([]byte, 0, capHint)
-}
-
-// putBuf recycles a scratch buffer.
-func (m *Model) putBuf(b []byte) {
-	m.bufPool.Put(&b)
 }
 
 // planStats reports cache contents for tests: the number of compiled

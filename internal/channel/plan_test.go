@@ -20,21 +20,34 @@ import (
 // left in an identical state, or downstream reads in the same cluster
 // would diverge).
 
-// diffCheck transmits ref through both paths from identically-seeded RNGs
-// and fails on any output or RNG-state divergence.
+// diffCheck transmits ref through all three paths — Transmit, the
+// AppendTransmit arena fast path, and transmitReference — from
+// identically-seeded RNGs and fails on any output or RNG-state
+// divergence.
 func diffCheck(t *testing.T, label string, m *Model, ref dna.Strand, seed uint64) {
 	t.Helper()
-	r1, r2 := rng.New(seed), rng.New(seed)
+	r1, r2, r3 := rng.New(seed), rng.New(seed), rng.New(seed)
 	got := m.Transmit(ref, r1)
 	want := m.transmitReference(ref, r2)
 	if got != want {
 		t.Fatalf("%s: seed %d len %d: compiled output diverges\n got: %s\nwant: %s",
 			label, seed, ref.Len(), got, want)
 	}
+	var scr Scratch
+	appended := dna.Strand(m.AppendTransmit(nil, scr.RefBases(ref), r3, &scr))
+	if appended != want {
+		t.Fatalf("%s: seed %d len %d: AppendTransmit output diverges\n got: %s\nwant: %s",
+			label, seed, ref.Len(), appended, want)
+	}
 	for k := 0; k < 3; k++ {
-		if a, b := r1.Uint64(), r2.Uint64(); a != b {
+		a, b, c := r1.Uint64(), r2.Uint64(), r3.Uint64()
+		if a != b {
 			t.Fatalf("%s: seed %d len %d: RNG state diverged after transmit (draw %d: %x vs %x)",
 				label, seed, ref.Len(), k, a, b)
+		}
+		if c != b {
+			t.Fatalf("%s: seed %d len %d: RNG state diverged after AppendTransmit (draw %d: %x vs %x)",
+				label, seed, ref.Len(), k, c, b)
 		}
 	}
 }

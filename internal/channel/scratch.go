@@ -1,0 +1,57 @@
+package channel
+
+import (
+	"sync"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/rng"
+)
+
+// The zero-allocation transmit fast path. Transmit's original contract —
+// Strand in, Strand out — forces two costs per read that have nothing to
+// do with the channel model: decoding the reference's ASCII bytes into
+// base codes position by position, and allocating the output. Both
+// amortise naturally one level up: a cluster transmits the same reference
+// Coverage times, and a simulation worker can own one reusable arena for
+// its whole run. AppendTransmitter is the interface that exposes this;
+// Scratch is the arena.
+
+// Scratch is a per-worker arena for the append-transmit fast path: the
+// reference's base-code view, the output buffer, and the batched RNG
+// block. A Scratch must not be shared between goroutines; the zero value
+// is ready to use and all internal buffers are grown on demand and reused.
+type Scratch struct {
+	refCodes []dna.Base
+	out      []byte
+	// ends records the cumulative end offset of each read generated into
+	// out when a whole cluster is built in one buffer (simulateCluster).
+	ends  []int
+	batch rng.Batch
+}
+
+// RefBases returns ref as 2-bit base codes, reusing the arena's buffer.
+// The returned slice is valid until the next RefBases call on the same
+// Scratch.
+func (sc *Scratch) RefBases(ref dna.Strand) []dna.Base {
+	sc.refCodes = ref.AppendBases(sc.refCodes[:0])
+	return sc.refCodes
+}
+
+// AppendTransmitter is implemented by channels that can transmit without
+// per-read setup cost: ref arrives as base codes (decoded once per
+// cluster via Scratch.RefBases), the noisy read is appended to dst as
+// ASCII bases, and scr supplies the per-worker RNG batch buffer. The
+// output bytes and consumed RNG draws are identical, draw-for-draw, to
+// Transmit(Strand(ref), r) — the golden-seed and differential suites
+// enforce this — so callers may mix the two paths freely.
+//
+// Implementations must not touch scr.out (callers pass slices aliasing
+// it as dst); dst is grown by append and returned.
+type AppendTransmitter interface {
+	AppendTransmit(dst []byte, ref []dna.Base, r *rng.RNG, scr *Scratch) []byte
+}
+
+// scratchPool recycles arenas for callers of the plain Transmit API, which
+// has nowhere to keep one. Simulation workers hold a Scratch directly and
+// never touch the pool.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}

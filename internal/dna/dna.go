@@ -105,15 +105,28 @@ func (s Strand) At(i int) Base {
 // Bases returns the strand as a slice of Base values.
 // It panics on invalid bytes; call Validate first on untrusted input.
 func (s Strand) Bases() []Base {
-	out := make([]Base, len(s))
+	return s.AppendBases(make([]Base, 0, len(s)))
+}
+
+// AppendBases appends the strand's base codes to dst and returns the
+// extended slice — the reuse-friendly form of Bases. Pass a scratch
+// dst[:0] to convert a strand once per cluster without allocating, so hot
+// loops can index 2-bit codes instead of re-decoding ASCII per read.
+// It panics on invalid bytes; call Validate first on untrusted input.
+func (s Strand) AppendBases(dst []Base) []Base {
+	if n := len(dst) + len(s); cap(dst) < n {
+		grown := make([]Base, len(dst), n)
+		copy(grown, dst)
+		dst = grown
+	}
 	for i := 0; i < len(s); i++ {
 		v := letterBases[s[i]]
 		if v == 0 {
 			panic(fmt.Sprintf("dna: invalid base %q at position %d", s[i], i))
 		}
-		out[i] = Base(v - 1)
+		dst = append(dst, Base(v-1))
 	}
-	return out
+	return dst
 }
 
 // FromBases builds a Strand from a slice of bases.

@@ -6,6 +6,12 @@ import "fmt"
 // per byte. Large pools (a full 10,000 × 110 dataset holds ~30 M read
 // bases) shrink 4× in memory, at the cost of per-base unpacking. Packed
 // values are immutable once built.
+//
+// The bulk kernels below (Pack, PackBases, AppendBases, AppendLetters)
+// move whole strands between the three representations — ASCII Strand,
+// []Base codes, 2-bit packed — one word at a time instead of one base at a
+// time, so the transmit hot path can run on base codes and touch the
+// ASCII alphabet exactly once per strand.
 type Packed struct {
 	bits []byte
 	n    int
@@ -14,12 +20,28 @@ type Packed struct {
 // Pack compresses a strand. It panics on invalid bases; Validate untrusted
 // input first.
 func Pack(s Strand) Packed {
-	bits := make([]byte, (s.Len()+3)/4)
-	for i := 0; i < s.Len(); i++ {
-		b := s.At(i)
-		bits[i/4] |= byte(b) << uint((i%4)*2)
+	return PackBases(s.AppendBases(nil))
+}
+
+// PackBases compresses a slice of 2-bit base codes — the append kernel
+// of the packed representation: four codes fold into each output byte.
+func PackBases(codes []Base) Packed {
+	bits := make([]byte, (len(codes)+3)/4)
+	i := 0
+	for ; i+4 <= len(codes); i += 4 {
+		bits[i/4] = byte(codes[i]&3) |
+			byte(codes[i+1]&3)<<2 |
+			byte(codes[i+2]&3)<<4 |
+			byte(codes[i+3]&3)<<6
 	}
-	return Packed{bits: bits, n: s.Len()}
+	var tail byte
+	for j := i; j < len(codes); j++ {
+		tail |= byte(codes[j]&3) << uint((j%4)*2)
+	}
+	if i < len(codes) {
+		bits[i/4] = tail
+	}
+	return Packed{bits: bits, n: len(codes)}
 }
 
 // Len returns the number of bases.
@@ -33,13 +55,46 @@ func (p Packed) At(i int) Base {
 	return Base(p.bits[i/4]>>uint((i%4)*2)) & 3
 }
 
+// AppendBases appends every base code to dst and returns the extended
+// slice — the iterate kernel: each packed byte is loaded once and expanded
+// into four codes, instead of one shift-and-mask call per base. Pass a
+// reused dst[:0] for an allocation-free unpack.
+func (p Packed) AppendBases(dst []Base) []Base {
+	if n := len(dst) + p.n; cap(dst) < n {
+		grown := make([]Base, len(dst), n)
+		copy(grown, dst)
+		dst = grown
+	}
+	full := p.n / 4
+	for i := 0; i < full; i++ {
+		w := p.bits[i]
+		dst = append(dst, Base(w&3), Base(w>>2&3), Base(w>>4&3), Base(w>>6&3))
+	}
+	for i := full * 4; i < p.n; i++ {
+		dst = append(dst, Base(p.bits[i/4]>>uint((i%4)*2))&3)
+	}
+	return dst
+}
+
+// AppendLetters appends the ASCII letters of the given base codes to dst —
+// the code-to-Strand kernel used to materialise transmit output once per
+// read.
+func AppendLetters(dst []byte, codes []Base) []byte {
+	if n := len(dst) + len(codes); cap(dst) < n {
+		grown := make([]byte, len(dst), n)
+		copy(grown, dst)
+		dst = grown
+	}
+	for _, c := range codes {
+		dst = append(dst, baseLetters[c&3])
+	}
+	return dst
+}
+
 // Unpack expands back to the string representation.
 func (p Packed) Unpack() Strand {
-	out := make([]byte, p.n)
-	for i := 0; i < p.n; i++ {
-		out[i] = p.At(i).Byte()
-	}
-	return Strand(out)
+	codes := p.AppendBases(make([]Base, 0, p.n))
+	return Strand(AppendLetters(make([]byte, 0, p.n), codes))
 }
 
 // Equal reports whether two packed strands hold the same sequence.
@@ -66,8 +121,10 @@ func (p Packed) Equal(q Packed) bool {
 // PackAll compresses a batch of strands.
 func PackAll(strands []Strand) []Packed {
 	out := make([]Packed, len(strands))
+	var scratch []Base
 	for i, s := range strands {
-		out[i] = Pack(s)
+		scratch = s.AppendBases(scratch[:0])
+		out[i] = PackBases(scratch)
 	}
 	return out
 }

@@ -68,6 +68,65 @@ func TestPackedAtPanics(t *testing.T) {
 	Pack("ACG").At(3)
 }
 
+// TestAppendBasesKernels: the bulk kernels must agree with the per-base
+// accessors for every length (ragged tails included) and honour
+// append-to-existing semantics.
+func TestAppendBasesKernels(t *testing.T) {
+	f := func(raw []uint8, prefix uint8) bool {
+		bs := make([]Base, len(raw))
+		for i, r := range raw {
+			bs[i] = Base(r % NumBases)
+		}
+		s := FromBases(bs)
+
+		// Strand.AppendBases onto a non-empty prefix.
+		pre := make([]Base, int(prefix%5))
+		got := s.AppendBases(pre)
+		if len(got) != len(pre)+len(bs) {
+			return false
+		}
+		for i, b := range bs {
+			if got[len(pre)+i] != b {
+				return false
+			}
+		}
+
+		// PackBases / Packed.AppendBases round trip.
+		p := PackBases(bs)
+		if p.Len() != len(bs) {
+			return false
+		}
+		back := p.AppendBases(nil)
+		for i, b := range bs {
+			if p.At(i) != b || back[i] != b {
+				return false
+			}
+		}
+
+		// AppendLetters reproduces the strand.
+		return Strand(AppendLetters(nil, back)) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAppendBasesReuseNoAlloc: with sufficient capacity the kernels must
+// not allocate — the contract the per-worker transmit arenas rely on.
+func TestAppendBasesReuseNoAlloc(t *testing.T) {
+	s := Strand("ACGTACGTACGTACGTACGTACG")
+	p := Pack(s)
+	codes := make([]Base, 0, s.Len())
+	letters := make([]byte, 0, s.Len())
+	if n := testing.AllocsPerRun(100, func() {
+		codes = s.AppendBases(codes[:0])
+		codes = p.AppendBases(codes[:0])
+		letters = AppendLetters(letters[:0], codes)
+	}); n != 0 {
+		t.Errorf("kernels allocated %.1f times per run with pre-sized buffers", n)
+	}
+}
+
 func TestPackAll(t *testing.T) {
 	strands := []Strand{"A", "ACGT", ""}
 	packed := PackAll(strands)

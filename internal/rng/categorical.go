@@ -11,6 +11,9 @@ import (
 type Categorical struct {
 	cdf   []float64
 	total float64
+	// lastPos is the index of the last positive-weight outcome: the clamp
+	// target when a draw lands at or beyond the final CDF value.
+	lastPos int
 }
 
 // NewCategorical builds a sampler over len(weights) outcomes. Weights must
@@ -21,9 +24,13 @@ func NewCategorical(weights []float64) (*Categorical, error) {
 	}
 	cdf := make([]float64, len(weights))
 	total := 0.0
+	lastPos := -1
 	for i, w := range weights {
 		if w < 0 {
 			return nil, fmt.Errorf("rng: negative weight %g at index %d", w, i)
+		}
+		if w > 0 {
+			lastPos = i
 		}
 		total += w
 		cdf[i] = total
@@ -31,7 +38,7 @@ func NewCategorical(weights []float64) (*Categorical, error) {
 	if total <= 0 {
 		return nil, fmt.Errorf("rng: categorical weights sum to %g, need > 0", total)
 	}
-	return &Categorical{cdf: cdf, total: total}, nil
+	return &Categorical{cdf: cdf, total: total, lastPos: lastPos}, nil
 }
 
 // MustCategorical is NewCategorical that panics on error; for static tables.
@@ -58,17 +65,32 @@ func (c *Categorical) Prob(i int) float64 {
 	return (c.cdf[i] - prev) / c.total
 }
 
-// Sample draws one outcome index.
+// Sample draws one outcome index. A zero-weight outcome is never returned,
+// for any draw.
 func (c *Categorical) Sample(r *RNG) int {
-	u := r.Float64() * c.total
-	i := sort.SearchFloat64s(c.cdf, u)
-	// SearchFloat64s returns the first index with cdf[i] >= u; skip over any
-	// zero-weight outcomes that share a CDF value with their predecessor.
-	for i < len(c.cdf)-1 && c.cdf[i] == 0 {
-		i++
-	}
-	if i >= len(c.cdf) {
-		i = len(c.cdf) - 1
+	return c.sampleU(r.Float64() * c.total)
+}
+
+// sampleU maps one uniform draw u ∈ [0, total] to an outcome: the i with
+// cdf[i-1] <= u < cdf[i]. Factored out of Sample so the exact-boundary
+// cases — u == 0 with leading zero weights, u landing exactly on an
+// interior CDF value, u rounding up to total with trailing zero weights —
+// are directly testable without hunting for seeds that produce them.
+func (c *Categorical) sampleU(u float64) int {
+	// Strict search: the smallest i with cdf[i] > u. Strictness is what
+	// makes zero-weight outcomes unreachable: a zero-weight outcome shares
+	// its CDF value with its predecessor (or with 0 when leading), so its
+	// half-open interval [cdf[i-1], cdf[i]) is empty and no u selects it.
+	// The old SearchFloat64s(cdf, u) used >=, which returned the wrong
+	// outcome whenever u hit a CDF value exactly — including outcome 0 for
+	// u == 0 when weight 0 is zero, despite the skip loop only handling
+	// runs whose shared CDF value was exactly 0.
+	i := sort.Search(len(c.cdf), func(j int) bool { return c.cdf[j] > u })
+	if i > c.lastPos {
+		// u reached the final CDF value (Float64()*total can round up to
+		// total): clamp to the last positive-weight outcome, skipping any
+		// trailing zero-weight ones.
+		i = c.lastPos
 	}
 	return i
 }

@@ -1,0 +1,109 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// Regression tests for Categorical.Sample's zero-weight handling. The old
+// implementation used a >= CDF search plus a skip loop that only recognised
+// zero-weight runs whose shared CDF value was exactly 0 — leading zeros.
+// An exact boundary hit (u == cdf[i], reachable because Float64()*total
+// can land on any representable value, including 0 and total) selected the
+// wrong outcome, and trailing zero-weight outcomes were reachable through
+// the end-clamp. Sample now guarantees: a zero-weight outcome is never
+// returned, for any draw.
+
+// zeroWeightShapes covers leading, interior, trailing and mixed zero
+// positions, plus weights engineered so exact boundary hits are
+// representable (power-of-two totals).
+var zeroWeightShapes = [][]float64{
+	{0, 1},
+	{0, 0, 1},
+	{1, 0, 3},
+	{1, 0, 0, 3},
+	{2, 0, 1, 0},
+	{1, 0},
+	{1, 0, 0},
+	{0, 1, 0, 2, 0},
+	{0.5, 0, 0.5, 0, 1},
+	{1e-300, 0, 1},
+}
+
+// TestCategoricalZeroWeightNeverSampled is the property test: across many
+// seeds and every shape, a zero-weight outcome must never come back.
+func TestCategoricalZeroWeightNeverSampled(t *testing.T) {
+	for si, weights := range zeroWeightShapes {
+		c := MustCategorical(weights)
+		for seed := uint64(1); seed <= 50; seed++ {
+			r := New(seed)
+			for k := 0; k < 2000; k++ {
+				i := c.Sample(r)
+				if i < 0 || i >= len(weights) {
+					t.Fatalf("shape %d seed %d: index %d out of range", si, seed, i)
+				}
+				if weights[i] == 0 {
+					t.Fatalf("shape %d seed %d draw %d: sampled zero-weight outcome %d (weights %v)",
+						si, seed, k, i, weights)
+				}
+			}
+		}
+	}
+}
+
+// TestCategoricalExactBoundaries drives sampleU directly at every CDF
+// boundary — the cases a seed search can't reliably produce.
+func TestCategoricalExactBoundaries(t *testing.T) {
+	for si, weights := range zeroWeightShapes {
+		c := MustCategorical(weights)
+		check := func(u float64, label string) {
+			t.Helper()
+			i := c.sampleU(u)
+			if i < 0 || i >= len(weights) || weights[i] == 0 {
+				t.Fatalf("shape %d (%v): u=%v (%s) -> outcome %d with weight 0 or out of range",
+					si, weights, u, label, i)
+			}
+			// The selected outcome's half-open interval must contain u,
+			// except at the total clamp where u sits at the top edge.
+			lo := 0.0
+			if i > 0 {
+				lo = c.cdf[i-1]
+			}
+			if u < c.total && (u < lo || u >= c.cdf[i]) {
+				t.Fatalf("shape %d: u=%v (%s) -> outcome %d outside its interval [%v,%v)",
+					si, u, label, i, lo, c.cdf[i])
+			}
+		}
+		check(0, "zero draw")
+		check(c.total, "total (rounded-up draw)")
+		for j, v := range c.cdf {
+			if v < c.total {
+				check(v, "interior boundary")
+			}
+			if v > 0 {
+				check(math.Nextafter(v, 0), "just below boundary")
+			}
+			_ = j
+		}
+	}
+}
+
+// TestCategoricalUnbiased: the fix must not disturb non-degenerate
+// sampling — frequencies still match the normalised weights.
+func TestCategoricalUnbiased(t *testing.T) {
+	weights := []float64{1, 0, 2, 3, 0, 4}
+	c := MustCategorical(weights)
+	r := New(99)
+	const n = 200000
+	counts := make([]int, len(weights))
+	for k := 0; k < n; k++ {
+		counts[c.Sample(r)]++
+	}
+	for i, w := range weights {
+		got := float64(counts[i]) / n
+		want := w / c.total
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("outcome %d: frequency %.4f, want %.4f", i, got, want)
+		}
+	}
+}
