@@ -29,14 +29,15 @@ chaos-smoke:
 	$(GO) test -race -count=1 ./internal/server/... ./internal/client/... ./internal/chaosnet/... ./internal/fleet/...
 
 # Short fuzz pass over every parser that consumes on-disk bytes: the
-# durable container reader, the pool loader, the FASTA/FASTQ parsers, and
-# the fault-injection spec DSL.
+# durable container reader, the pool loader, the FASTA/FASTQ parsers, the
+# fault-injection spec DSL, and the channel stage-pipeline DSL.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadContainer -fuzztime=10s ./internal/durable/
 	$(GO) test -run='^$$' -fuzz=FuzzLoadPool -fuzztime=10s ./internal/store/
 	$(GO) test -run='^$$' -fuzz=FuzzReadFASTA -fuzztime=10s ./internal/seqio/
 	$(GO) test -run='^$$' -fuzz=FuzzReadFASTQ -fuzztime=10s ./internal/seqio/
 	$(GO) test -run='^$$' -fuzz=FuzzParseSpec -fuzztime=10s ./internal/faults/
+	$(GO) test -run='^$$' -fuzz=FuzzParseStages -fuzztime=10s ./internal/channel/
 
 # Benchmarks: one pass over the Go benchmarks (smoke, 1 iteration each)
 # plus the machine-readable simulate hot-path measurement CI archives as an
@@ -72,10 +73,12 @@ loadcheck:
 
 # Multi-node drills under the race detector: a coordinator over worker
 # dnasimd servers with a forced node death mid-shard (plus the hedge and
-# journal-handoff drills), and the kill-restart drill — the real dnasimd
-# coordinator binary SIGKILLed mid-job, restarted on the same -data-dir,
-# and required to finish the job byte-identically under its old ID with
-# pre-kill shards served from the durable spill, every ledger and spill
-# file scrubbing clean afterwards.
+# journal-handoff drills), the same node-death drill on a staged-pipeline
+# spec (pool-stage coverage draws must survive sharding byte-identically
+# and hit the shard cache on resubmission), and the kill-restart drill —
+# the real dnasimd coordinator binary SIGKILLed mid-job, restarted on the
+# same -data-dir, and required to finish the job byte-identically under
+# its old ID with pre-kill shards served from the durable spill, every
+# ledger and spill file scrubbing clean afterwards.
 fleetcheck:
 	$(GO) test -race -count=1 -run 'TestFleetDrill|TestFleetShardHandoffResume' ./internal/fleet/

@@ -126,6 +126,16 @@ func benchWorkloads() []benchWorkload {
 				benchAppendTransmit(b, channel.NewDNASimulator("bench", channel.DefaultNanoporeDict()), 110, seed)
 			},
 		},
+		{
+			// The full four-stage pipeline through one AppendTransmit call:
+			// every intermediate stage bounces through the Scratch
+			// double-buffer, so this is the regression canary for the
+			// pipeline staying off the allocator end to end.
+			name: "channel.transmit/pipeline-append", refLen: 110, coverage: 1, zeroAlloc: true,
+			run: func(b *testing.B, seed uint64) {
+				benchAppendTransmit(b, channel.NewStoragePipeline("bench-pipe", 0.059, 10), 110, seed)
+			},
+		},
 	}
 }
 

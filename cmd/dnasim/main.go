@@ -5,12 +5,15 @@
 // The channel can be parameterised two ways:
 //
 //   - directly, with -sub/-ins/-del (+ optional -spatial and -longdel),
+//   - as a multi-stage pipeline, with -stages (the channel.ParseStages
+//     DSL); pool stages bind over the coverage model,
 //   - or data-driven, with -calibrate <dataset>: the full calibration
 //     pipeline of the paper fits the chosen -tier from real clusters.
 //
 // Usage:
 //
 //	dnasim -refs refs.txt -coverage 6 -sub 0.02 -ins 0.01 -del 0.03 -o sim.txt
+//	dnasim -refs refs.txt -stages 'synthesis=0.0118,pcr=30:0.0001:0.02,aging=100:3e-05:0.00133,sequencing=0.0413:terminal-skew' -o sim.txt
 //	dnasim -refs refs.txt -calibrate nanopore.txt -tier second-order -o sim.txt
 package main
 
@@ -43,8 +46,9 @@ func main() {
 		del        = flag.Float64("del", 0, "deletion probability per base")
 		spatial    = flag.String("spatial", "uniform", "spatial distribution: uniform, a-shape, v-shape, terminal-skew")
 		longDel    = flag.Bool("longdel", false, "enable the paper's long-deletion burst model")
+		stageSpec  = flag.String("stages", "", "multi-stage channel spec (e.g. synthesis=0.01,pcr=30:0.0001:0.02,aging=100:3e-05:0.00133,sequencing=0.04:terminal-skew); excludes -sub/-ins/-del/-spatial")
 		calibrate  = flag.String("calibrate", "", "clusters file to fit the channel from (overrides -sub/-ins/-del)")
-		tier       = flag.String("tier", "second-order", "calibrated tier: naive, conditional, skew, second-order, dnasimulator")
+		tier       = flag.String("tier", "second-order", "calibrated tier: naive, conditional, skew, second-order, dnasimulator, staged")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		faultSpec  = flag.String("faults", "", "fault injection spec (e.g. dropout=0.1,truncate=0.3:0.5,contam=0.02,zerocov=10:5)")
 		ckptPath   = flag.String("checkpoint", "", "journal completed clusters to this file; rerunning resumes instead of restarting")
@@ -71,6 +75,15 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+	} else if *stageSpec != "" {
+		if *sub != 0 || *ins != 0 || *del != 0 || *spatial != "uniform" {
+			fail(errors.New("-stages is mutually exclusive with -sub/-ins/-del/-spatial"))
+		}
+		list, err := channel.ParseStages(*stageSpec)
+		if err != nil {
+			fail(err)
+		}
+		ch = list.Build("staged")
 	} else {
 		rates := channel.Rates{Sub: *sub, Ins: *ins, Del: *del}
 		if err := rates.Validate(); err != nil {
@@ -102,6 +115,11 @@ func main() {
 		cov = channel.NormalCoverage{Mean: *coverage, SD: *coverage / 3}
 	default:
 		fail(fmt.Errorf("unknown coverage model %q", *covModel))
+	}
+	// A staged channel's pool stages (PCR skew, breakage) rewrite the read
+	// count; bind them before faults so injectors stay outermost.
+	if pipe, ok := ch.(channel.Pipeline); ok {
+		cov = pipe.BindCoverage(cov)
 	}
 
 	spec, err := faults.ParseSpec(*faultSpec)
@@ -234,6 +252,8 @@ func calibratedChannel(path, tier string) (channel.Channel, error) {
 		return p.SecondOrderModel("second-order", 10), nil
 	case "dnasimulator":
 		return p.DNASimulatorBaseline("dnasimulator"), nil
+	case "staged":
+		return p.StagedPipeline("staged", 10), nil
 	default:
 		return nil, fmt.Errorf("unknown tier %q", tier)
 	}

@@ -94,6 +94,67 @@ func TestCheckpointResumeByteIdentical(t *testing.T) {
 	}
 }
 
+// TestPipelineCheckpointResumeByteIdentical runs the same crash drill on
+// the population-aware staged pipeline: the checkpoint must restore the
+// per-cluster pool draws (PCR skew, breakage thinning) exactly, so the
+// resumed tail is byte-identical to the uninterrupted run.
+func TestPipelineCheckpointResumeByteIdentical(t *testing.T) {
+	pipe := channel.NewPhysicalPipeline("ckpt-pipe", 0.059, 100)
+	sim := channel.Simulator{
+		Channel:  pipe,
+		Coverage: pipe.BindCoverage(channel.NegBinCoverage{Mean: 6, Dispersion: 2}),
+	}
+	refs := channel.RandomReferences(40, 60, 13)
+	const seed = 43
+	desc := sim.Describe()
+
+	golden, err := sim.SimulateCtx(context.Background(), "pipe-drill", refs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := datasetBytes(t, golden)
+
+	path := filepath.Join(t.TempDir(), "pipe.ckpt")
+	ckpt, err := channel.OpenCheckpoint(path, "pipe-drill", refs, seed, desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ckpt.OnCommit = func(commits int) {
+		if commits >= 15 {
+			cancel()
+		}
+	}
+	_, err = sim.SimulateCheckpoint(ctx, "pipe-drill", refs, seed, ckpt)
+	var simErr *channel.SimulationError
+	if !errors.As(err, &simErr) || simErr.Canceled == nil {
+		t.Fatalf("interrupted run: err = %v, want canceled SimulationError", err)
+	}
+	ckpt.Close()
+	cancel()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, faults.TornWrite(data, rng.New(6)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt2, err := channel.OpenCheckpoint(path, "pipe-drill", refs, seed, desc)
+	if err != nil {
+		t.Fatalf("reopening torn checkpoint: %v", err)
+	}
+	defer ckpt2.Close()
+	resumed, err := sim.SimulateCheckpoint(context.Background(), "pipe-drill", refs, seed, ckpt2)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if !bytes.Equal(datasetBytes(t, resumed), want) {
+		t.Error("resumed pipeline dataset differs from uninterrupted run")
+	}
+}
+
 // TestCheckpointTornInsideHeader: a crash during checkpoint creation can
 // leave a file too short to even parse; OpenCheckpoint must start fresh
 // rather than fail forever.

@@ -62,6 +62,9 @@ func (s *DNASimulator) Name() string {
 	return "DNASimulator"
 }
 
+// StageName implements Stage.
+func (s *DNASimulator) StageName() string { return s.Name() }
+
 // Transmit implements Channel, following Algorithm 1: for every base, draw
 // one uniform variate and compare it against the cumulative thresholds
 // sub, sub+ins, sub+ins+del, sub+ins+del+longdel. Substituted and inserted

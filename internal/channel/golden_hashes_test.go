@@ -11,4 +11,10 @@ const (
 	goldenHashSecondOrder = "d8b45c7b9cd3a1e6cb10a7352ff452c7"
 	goldenHashHighRate    = "3da32917f6c4a0b86871395c99a24620"
 	goldenHashDNASim      = "13aa0eaa88aada7d047b22b355bddc40"
+	// Pipeline cases, captured when the stage subsystem landed: the staged
+	// hash pins the strand-stage chain (must equal the pre-rewrite chained
+	// Transmit stream), the pool hash additionally pins the pool-stage
+	// draw-order contract (coverage draw → pool draws → read draws).
+	goldenHashPipeline     = "428becd77d5e7a6c647c192db63cf6fb"
+	goldenHashPipelinePool = "396dadc08aabddc80baef43aaf821bd8"
 )

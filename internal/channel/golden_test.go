@@ -79,6 +79,7 @@ func goldenModelHighRate() *Model {
 
 // goldenCases is the pinned workload matrix. Hashes are filled in below.
 func goldenCases() []goldenCase {
+	physical := NewPhysicalPipeline("golden-physical", 0.059, 100)
 	return []goldenCase{
 		{
 			name:     "naive",
@@ -121,6 +122,23 @@ func goldenCases() []goldenCase {
 			coverage: PoissonCoverage(7),
 			clusters: 60, refLen: 110, seed: 23,
 			hash: goldenHashDNASim,
+		},
+		{
+			name:     "pipeline-staged",
+			channel:  NewStoragePipeline("golden-pipe", 0.059, 10),
+			coverage: FixedCoverage(5),
+			clusters: 40, refLen: 110, seed: 29,
+			hash: goldenHashPipeline,
+		},
+		{
+			// The population-aware pipeline: pool stages bound over the
+			// base coverage, so PCR skew and breakage draws interleave the
+			// per-cluster stream ahead of the reads.
+			name:     "pipeline-pool",
+			channel:  physical,
+			coverage: physical.BindCoverage(NegBinCoverage{Mean: 8, Dispersion: 2.5}),
+			clusters: 40, refLen: 110, seed: 31,
+			hash: goldenHashPipelinePool,
 		},
 	}
 }

@@ -107,6 +107,10 @@ func (m *Model) Name() string {
 	return "model"
 }
 
+// StageName implements Stage: every Model is usable directly as a
+// per-strand pipeline stage.
+func (m *Model) StageName() string { return m.Name() }
+
 // NewNaive returns the paper's naive simulator: three aggregate parameters,
 // no base conditioning, no bursts, uniform spatial distribution.
 func NewNaive(label string, r Rates) *Model {

@@ -1,0 +1,188 @@
+package channel
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/rng"
+)
+
+// Pool stages: the population shape of Stage. A pool stage does not touch
+// individual reads — it rewrites how many reads a cluster contributes to
+// the pool, which is where PCR amplification skew, strand breakage and
+// decay dropout actually act (Heckel et al.). Pipeline.BindCoverage
+// layers the pipeline's pool stages over a base CoverageModel in stage
+// order.
+//
+// The RNG draw-order contract (DESIGN.md §16): all pool draws come from
+// the per-cluster RNG, after the base coverage draw and before any read
+// is generated. The number of draws a pool stage consumes may depend only
+// on the cluster index and the incoming count — never on which worker or
+// shard runs the cluster — so pipeline output stays deterministic,
+// worker-invariant and fleet-merge-safe.
+
+// PoolStage is a Stage that transforms the cluster population.
+type PoolStage interface {
+	Stage
+	// PoolCoverage maps cluster clusterIndex's read count entering the
+	// stage (n) to the count leaving it, drawing any randomness from r.
+	// Results are clamped to >= 0 by the binding coverage model.
+	PoolCoverage(clusterIndex, n int, r *rng.RNG) int
+}
+
+// BindCoverage layers the pipeline's pool stages over a base coverage
+// model in stage order. Each cluster samples the base coverage first,
+// then lets every pool stage rewrite the count — all from the
+// per-cluster RNG, before read generation. Pipelines without pool stages
+// return base unchanged, so binding is always safe (and keeps existing
+// coverage names and draw streams byte-identical for strand-only
+// pipelines).
+func (p Pipeline) BindCoverage(base CoverageModel) CoverageModel {
+	var pool []PoolStage
+	for _, st := range p.Stages {
+		if ps, ok := st.(PoolStage); ok {
+			pool = append(pool, ps)
+		}
+	}
+	if len(pool) == 0 {
+		return base
+	}
+	pc := pooledCoverage{base: base, stages: pool}
+	if ra, ok := base.(RefAwareCoverage); ok {
+		return refAwarePooledCoverage{pooledCoverage: pc, ra: ra}
+	}
+	return pc
+}
+
+// pooledCoverage is the CoverageModel BindCoverage builds.
+type pooledCoverage struct {
+	base   CoverageModel
+	stages []PoolStage
+}
+
+// Sample implements CoverageModel.
+func (p pooledCoverage) Sample(i int, r *rng.RNG) int {
+	return p.apply(i, p.base.Sample(i, r), r)
+}
+
+// apply runs the pool stages over an initial count.
+func (p pooledCoverage) apply(i, n int, r *rng.RNG) int {
+	for _, st := range p.stages {
+		n = st.PoolCoverage(i, n, r)
+		if n < 0 {
+			n = 0
+		}
+	}
+	return n
+}
+
+// Name implements CoverageModel.
+func (p pooledCoverage) Name() string {
+	names := make([]string, len(p.stages))
+	for i, st := range p.stages {
+		names[i] = st.StageName()
+	}
+	return fmt.Sprintf("%s+pool(%s)", p.base.Name(), strings.Join(names, "→"))
+}
+
+// refAwarePooledCoverage preserves the base model's RefAwareCoverage
+// extension through the pool binding: the base still sees the reference
+// strand, the pool stages rewrite its count.
+type refAwarePooledCoverage struct {
+	pooledCoverage
+	ra RefAwareCoverage
+}
+
+// SampleRef implements RefAwareCoverage.
+func (p refAwarePooledCoverage) SampleRef(ref dna.Strand, i int, r *rng.RNG) int {
+	return p.apply(i, p.ra.SampleRef(ref, i, r), r)
+}
+
+// DefaultPCREfficiencySD is the per-cycle standard deviation of
+// log-amplification-efficiency used by NewPhysicalPipeline: small per
+// cycle, but compounded over ~30 cycles it reproduces the several-fold
+// coverage spread Heckel et al. observed after PCR.
+const DefaultPCREfficiencySD = 0.02
+
+// DefaultBreakagePerYear is the strand-breakage hazard rate used by
+// NewPhysicalPipeline: ln 2 / 521 y, the half-life Grass et al. measured
+// for silica-encapsulated DNA.
+const DefaultBreakagePerYear = 0.00133
+
+// PCRAmplification is the population-aware PCR stage, both shapes at
+// once: the embedded Model adds the per-cycle polymerase substitutions to
+// every strand, and PoolCoverage applies lognormal amplification skew —
+// per-cycle efficiency differences compound multiplicatively over the
+// cycle count, so some clusters amplify far past the mean while others
+// starve.
+type PCRAmplification struct {
+	*Model
+	// Cycles is the amplification cycle count.
+	Cycles int
+	// EfficiencySD is the per-cycle standard deviation of the cluster's
+	// log-efficiency; zero disables the skew (and consumes no draws).
+	EfficiencySD float64
+}
+
+// NewPCRAmplification builds the stage; negative cycles clamp to zero
+// exactly as NewPCRStage does.
+func NewPCRAmplification(cycles int, perCycleSubRate, efficiencySD float64) *PCRAmplification {
+	if cycles < 0 {
+		cycles = 0
+	}
+	if efficiencySD < 0 {
+		efficiencySD = 0
+	}
+	return &PCRAmplification{Model: NewPCRStage(cycles, perCycleSubRate), Cycles: cycles, EfficiencySD: efficiencySD}
+}
+
+// PoolCoverage implements PoolStage: one Normal draw per cluster sets the
+// cluster's amplification factor exp(N(-σ²/2, σ)) with σ = EfficiencySD·√Cycles.
+// The -σ²/2 location keeps the factor's expectation at exactly 1, so the
+// skew spreads coverage without inflating its mean.
+func (p *PCRAmplification) PoolCoverage(_, n int, r *rng.RNG) int {
+	if p.EfficiencySD <= 0 || n <= 0 {
+		return n
+	}
+	sigma := p.EfficiencySD * math.Sqrt(float64(p.Cycles))
+	factor := math.Exp(r.Normal(-0.5*sigma*sigma, sigma))
+	return int(float64(n)*factor + 0.5)
+}
+
+// AgingStage is the population-aware storage stage, both shapes at once:
+// the embedded Model carries the hydrolytic per-strand damage of
+// NewDecayStage, and PoolCoverage thins the pool by strand breakage —
+// each strand survives the storage period with probability
+// exp(-Years·BreakagePerYear), so old pools lose whole strands (down to
+// empty clusters) on top of the per-base decay.
+type AgingStage struct {
+	*Model
+	// Years is the storage duration.
+	Years float64
+	// BreakagePerYear is the per-strand breakage hazard rate; zero
+	// disables the thinning (and consumes no draws).
+	BreakagePerYear float64
+}
+
+// NewAgingStage builds the stage; negative years clamp to zero exactly as
+// NewDecayStage does.
+func NewAgingStage(years, ratePerYear, breakagePerYear float64) *AgingStage {
+	if years < 0 {
+		years = 0
+	}
+	if breakagePerYear < 0 {
+		breakagePerYear = 0
+	}
+	return &AgingStage{Model: NewDecayStage(years, ratePerYear), Years: years, BreakagePerYear: breakagePerYear}
+}
+
+// PoolCoverage implements PoolStage: binomial thinning at the survival
+// probability.
+func (a *AgingStage) PoolCoverage(_, n int, r *rng.RNG) int {
+	if a.Years <= 0 || a.BreakagePerYear <= 0 || n <= 0 {
+		return n
+	}
+	return r.Binomial(n, math.Exp(-a.Years*a.BreakagePerYear))
+}

@@ -27,6 +27,13 @@ type Scratch struct {
 	// out when a whole cluster is built in one buffer (simulateCluster).
 	ends  []int
 	batch rng.Batch
+	// stageOut and stageCodes are the pipeline double-buffer: an
+	// intermediate stage writes its ASCII output into stageOut, which is
+	// decoded into stageCodes to feed the next stage (Pipeline.
+	// AppendTransmit). Only the final stage touches the caller's dst, so
+	// a whole multi-stage transmit stays allocation-free once warm.
+	stageOut   []byte
+	stageCodes []dna.Base
 }
 
 // RefBases returns ref as 2-bit base codes, reusing the arena's buffer.

@@ -8,16 +8,62 @@ import (
 	"dnastore/internal/rng"
 )
 
-// Pipeline composes channels stage-by-stage: the output of stage k is the
-// input of stage k+1. This realises the paper's §4.2 recommendation — "an
-// ideal simulator should allow for a multi-stage, composable simulation
-// process" — with one stage per physical step (synthesis → PCR → storage →
-// sequencing) instead of a single aggregate error pass.
+// Stage is one physical step of the storage channel. Stages come in two
+// shapes, selected by interface:
+//
+//   - per-strand error stages implement Channel: they perturb individual
+//     reads (synthesis errors, sequencing noise). Stages that also
+//     implement AppendTransmitter run on the zero-allocation kernel, and
+//     the pipeline keeps draw-for-draw parity with chaining the stages'
+//     Transmit calls by hand.
+//   - pool stages implement PoolStage (pool.go): they transform the
+//     cluster population before any read is generated — PCR amplification
+//     skew, strand breakage, decay dropout — by rewriting the cluster's
+//     read count. Pipeline.BindCoverage layers them over a CoverageModel.
+//
+// One concrete type may be both shapes at once: PCRAmplification adds
+// per-cycle substitutions to every strand and lognormal amplification
+// skew to the pool.
+type Stage interface {
+	// StageName identifies the stage in pipeline names and tables.
+	StageName() string
+}
+
+// AsStage adapts an arbitrary Channel into a per-strand Stage. Channels
+// that already implement Stage (every *Model does) are returned as-is;
+// anything else is wrapped and takes the allocating Transmit path inside
+// pipelines.
+func AsStage(ch Channel) Stage {
+	if s, ok := ch.(Stage); ok {
+		return s
+	}
+	return strandStage{ch}
+}
+
+// strandStage adapts a plain Channel; only Channel's methods are
+// promoted, so wrapped channels never reach the append fast path.
+type strandStage struct{ Channel }
+
+// StageName implements Stage.
+func (s strandStage) StageName() string { return s.Channel.Name() }
+
+// Pipeline composes stages in physical order: the output of strand stage
+// k is the input of strand stage k+1, and pool stages rewrite the
+// cluster's read count in the same order (BindCoverage). This realises
+// the paper's §4.2 recommendation — "an ideal simulator should allow for
+// a multi-stage, composable simulation process" — with one stage per
+// physical step (synthesis → PCR → storage → sequencing) instead of a
+// single aggregate error pass.
+//
+// Pipeline implements Channel and AppendTransmitter; Transmit always
+// returns a strand with fresh backing, never an alias of the caller's
+// reference — even with zero strand stages, where the pipeline is the
+// identity channel.
 type Pipeline struct {
 	// Label names the pipeline in tables.
 	Label string
 	// Stages are applied in order.
-	Stages []Channel
+	Stages []Stage
 }
 
 // Name implements Channel.
@@ -27,30 +73,111 @@ func (p Pipeline) Name() string {
 	}
 	names := make([]string, len(p.Stages))
 	for i, s := range p.Stages {
-		names[i] = s.Name()
+		names[i] = s.StageName()
 	}
 	return strings.Join(names, "→")
 }
 
-// Transmit implements Channel.
+// Transmit implements Channel: the reference flows through every strand
+// stage in order, all randomness drawn from r in stage order. Like
+// Model.Transmit it is the pooled-arena wrapper over AppendTransmit, so
+// output bytes and RNG draw accounting are identical on both paths.
 func (p Pipeline) Transmit(ref dna.Strand, r *rng.RNG) dna.Strand {
-	s := ref
-	for _, stage := range p.Stages {
-		s = stage.Transmit(s, r)
+	if ref.Len() == 0 {
+		return ref
 	}
+	scr := scratchPool.Get().(*Scratch)
+	scr.out = p.AppendTransmit(scr.out[:0], scr.RefBases(ref), r, scr)
+	s := dna.Strand(scr.out)
+	scratchPool.Put(scr)
 	return s
 }
 
-// AggregateRate returns the approximate combined per-base error rate of all
-// stages (small-rate approximation: rates add).
-func (p Pipeline) AggregateRate() float64 {
-	total := 0.0
-	for _, s := range p.Stages {
-		if m, ok := s.(interface{ AggregateRate() float64 }); ok {
-			total += m.AggregateRate()
+// AppendTransmit implements AppendTransmitter end to end: stage k's
+// output bytes are decoded into the arena's staging buffer and fed to
+// stage k+1, with only the final stage appending into the caller's dst —
+// the double-buffered hot path, 0 allocs/op once the arena is warm.
+// Stages implementing AppendTransmitter run the zero-alloc kernel;
+// wrapped channels fall back to the Strand API (allocating, but byte-
+// and draw-identical). With zero strand stages the reference is copied
+// into dst faithfully — never aliased.
+func (p Pipeline) AppendTransmit(dst []byte, ref []dna.Base, r *rng.RNG, scr *Scratch) []byte {
+	// Count the strand stages so the last one can append straight into
+	// dst; a slice of them here would put an allocation on the hot path.
+	n := 0
+	for _, st := range p.Stages {
+		if _, ok := st.(Channel); ok {
+			n++
 		}
 	}
-	return total
+	if n == 0 {
+		return dna.AppendLetters(dst, ref)
+	}
+	codes := ref
+	k := 0
+	for _, st := range p.Stages {
+		ch, ok := st.(Channel)
+		if !ok {
+			continue
+		}
+		k++
+		if k == n {
+			return appendStageTransmit(ch, dst, codes, r, scr)
+		}
+		// Intermediate stage: write into the staging buffer, then decode
+		// to base codes before the buffer is reused — an empty output
+		// (total deletion) flows through as an empty reference, which
+		// downstream stages pass unchanged without consuming draws,
+		// exactly as their Transmit would.
+		scr.stageOut = appendStageTransmit(ch, scr.stageOut[:0], codes, r, scr)
+		scr.stageCodes = appendBaseCodes(scr.stageCodes[:0], scr.stageOut)
+		codes = scr.stageCodes
+	}
+	return dst // unreachable: the k == n branch always returns
+}
+
+// appendStageTransmit transmits codes through one strand stage, appending
+// the result to dst.
+func appendStageTransmit(ch Channel, dst []byte, codes []dna.Base, r *rng.RNG, scr *Scratch) []byte {
+	if at, ok := ch.(AppendTransmitter); ok {
+		return at.AppendTransmit(dst, codes, r, scr)
+	}
+	if len(codes) == 0 {
+		return dst
+	}
+	out := ch.Transmit(dna.Strand(dna.AppendLetters(nil, codes)), r)
+	return append(dst, string(out)...)
+}
+
+// appendBaseCodes decodes ASCII base letters back into 2-bit codes. The
+// input is pipeline stage output, always valid ACGT.
+func appendBaseCodes(dst []dna.Base, letters []byte) []dna.Base {
+	for _, c := range letters {
+		dst = append(dst, dna.MustBase(c))
+	}
+	return dst
+}
+
+// AggregateRate returns the approximate combined per-base error rate of
+// all strand stages (small-rate approximation: rates add). complete is
+// false when any strand stage does not expose an AggregateRate — the sum
+// then under-reports the channel and callers must say so instead of
+// presenting it as the whole rate. Pool stages shape coverage, not
+// per-read error mass, so they never mark the sum incomplete.
+func (p Pipeline) AggregateRate() (rate float64, complete bool) {
+	complete = true
+	for _, st := range p.Stages {
+		ch, ok := st.(Channel)
+		if !ok {
+			continue
+		}
+		if m, ok := ch.(interface{ AggregateRate() float64 }); ok {
+			rate += m.AggregateRate()
+		} else {
+			complete = false
+		}
+	}
+	return rate, complete
 }
 
 // NewSynthesisStage models array-based synthesis: deletion-dominant errors
@@ -69,7 +196,9 @@ func NewSynthesisStage(rate float64) *Model {
 
 // NewPCRStage models polymerase-chain-reaction amplification: per-cycle
 // substitution errors that accumulate over the number of cycles; polymerase
-// virtually never introduces indels.
+// virtually never introduces indels. This is the strand-only PCR shape —
+// NewPCRAmplification (pool.go) adds the population-level amplification
+// skew on top.
 func NewPCRStage(cycles int, perCycleSubRate float64) *Model {
 	if cycles < 0 {
 		cycles = 0
@@ -88,6 +217,8 @@ func NewPCRStage(cycles int, perCycleSubRate float64) *Model {
 // NewDecayStage models storage decay over the given duration: hydrolytic
 // damage that manifests as substitutions (deaminated bases misread) and
 // single-base deletions (abasic sites), proportional to storage time.
+// NewAgingStage (pool.go) pairs this per-strand damage with strand
+// breakage that thins the pool.
 func NewDecayStage(years, ratePerYear float64) *Model {
 	if years < 0 {
 		years = 0
@@ -141,10 +272,12 @@ func TransitionBiasedSubMatrix(transition float64) [dna.NumBases][dna.NumBases]f
 	return mtx
 }
 
-// NewStoragePipeline assembles the full four-stage pipeline with
+// NewStoragePipeline assembles the four-stage strand pipeline with
 // representative rates. totalRate is split across stages roughly as the
 // literature attributes errors: sequencing dominates (~70%), synthesis is
-// second (~20%), PCR and decay are minor.
+// second (~20%), PCR and decay are minor. All stages are per-strand; for
+// the population-aware variant with amplification skew and breakage see
+// NewPhysicalPipeline.
 func NewStoragePipeline(label string, totalRate float64, storageYears float64) Pipeline {
 	seqRate := 0.70 * totalRate
 	synthRate := 0.20 * totalRate
@@ -156,10 +289,36 @@ func NewStoragePipeline(label string, totalRate float64, storageYears float64) P
 	}
 	return Pipeline{
 		Label: label,
-		Stages: []Channel{
+		Stages: []Stage{
 			NewSynthesisStage(synthRate),
 			NewPCRStage(30, pcrRate/30),
 			NewDecayStage(storageYears, decayPerYear),
+			NewSequencingStage(NanoporeMix(seqRate), PaperLongDeletion(), dist.NanoporeSkew()),
+		},
+	}
+}
+
+// NewPhysicalPipeline assembles the population-aware four-stage channel:
+// the same per-strand error split as NewStoragePipeline, plus the pool
+// effects Heckel et al.'s channel characterization says dominate real
+// pools — lognormal PCR amplification skew and age-dependent strand
+// breakage. Bind the pool effects with BindCoverage; the per-strand
+// stages work through the usual Channel/AppendTransmitter path.
+func NewPhysicalPipeline(label string, totalRate, storageYears float64) Pipeline {
+	seqRate := 0.70 * totalRate
+	synthRate := 0.20 * totalRate
+	pcrRate := 0.05 * totalRate
+	decayRate := 0.05 * totalRate
+	var decayPerYear float64
+	if storageYears > 0 {
+		decayPerYear = decayRate / storageYears
+	}
+	return Pipeline{
+		Label: label,
+		Stages: []Stage{
+			NewSynthesisStage(synthRate),
+			NewPCRAmplification(30, pcrRate/30, DefaultPCREfficiencySD),
+			NewAgingStage(storageYears, decayPerYear, DefaultBreakagePerYear),
 			NewSequencingStage(NanoporeMix(seqRate), PaperLongDeletion(), dist.NanoporeSkew()),
 		},
 	}

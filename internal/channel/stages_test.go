@@ -36,7 +36,7 @@ func TestTransitionBiasedSubMatrix(t *testing.T) {
 }
 
 func TestPipelineComposes(t *testing.T) {
-	p := Pipeline{Stages: []Channel{
+	p := Pipeline{Stages: []Stage{
 		NewNaive("s1", Rates{Del: 0.05}),
 		NewNaive("s2", Rates{Ins: 0.05}),
 	}}
@@ -56,12 +56,16 @@ func TestPipelineComposes(t *testing.T) {
 }
 
 func TestPipelineAggregateAdditivity(t *testing.T) {
-	p := Pipeline{Stages: []Channel{
+	p := Pipeline{Stages: []Stage{
 		NewNaive("a", EqualMix(0.02)),
 		NewNaive("b", EqualMix(0.03)),
 	}}
-	if math.Abs(p.AggregateRate()-0.05) > 1e-12 {
-		t.Errorf("pipeline aggregate = %v", p.AggregateRate())
+	agg, complete := p.AggregateRate()
+	if math.Abs(agg-0.05) > 1e-12 {
+		t.Errorf("pipeline aggregate = %v", agg)
+	}
+	if !complete {
+		t.Error("all stages report rates, sum should be complete")
 	}
 }
 
@@ -71,7 +75,7 @@ func TestPipelineEquivalentToSinglePassAtAggregate(t *testing.T) {
 	// order in p).
 	refs := RandomReferences(300, 110, 2)
 	r1, r2 := rng.New(3), rng.New(4)
-	pipe := Pipeline{Stages: []Channel{
+	pipe := Pipeline{Stages: []Stage{
 		NewNaive("a", EqualMix(0.03)),
 		NewNaive("b", EqualMix(0.03)),
 	}}
@@ -131,7 +135,10 @@ func TestStageConstructors(t *testing.T) {
 	if !strings.Contains(full.Name(), "storage") {
 		t.Errorf("pipeline name = %q", full.Name())
 	}
-	agg := full.AggregateRate()
+	agg, complete := full.AggregateRate()
+	if !complete {
+		t.Error("storage pipeline stages all report rates")
+	}
 	// Within 10% of the requested total (long-deletion prob adds a little).
 	if agg < 0.055 || agg > 0.07 {
 		t.Errorf("full pipeline aggregate = %v, want ≈0.059", agg)

@@ -1,0 +1,150 @@
+package channel
+
+import (
+	"strings"
+	"testing"
+
+	"dnastore/internal/rng"
+)
+
+func TestParseStagesRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"synthesis=0.0118",
+		"pcr=30:0.0001",
+		"pcr=30:0.0001:0.02",
+		"aging=100:3e-05",
+		"aging=100:3e-05:0.00133",
+		"sequencing=0.0413",
+		"sequencing=0.0413:terminal-skew",
+		"naive=0.02:0.01:0.03",
+		"synthesis=0.0118,pcr=30:0.0001:0.02,aging=100:3e-05:0.00133,sequencing=0.0413:terminal-skew",
+	} {
+		list, err := ParseStages(spec)
+		if err != nil {
+			t.Fatalf("ParseStages(%q): %v", spec, err)
+		}
+		if got := list.String(); got != spec {
+			t.Errorf("round trip %q -> %q", spec, got)
+		}
+		list2, err := ParseStages(list.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", list.String(), err)
+		}
+		if len(list2) != len(list) {
+			t.Errorf("%q: re-parse changed stage count", spec)
+		}
+	}
+}
+
+func TestParseStagesRejects(t *testing.T) {
+	for _, spec := range []string{
+		"synthesis",                // not key=value
+		"warp=0.1",                 // unknown stage
+		"synthesis=NaN",            // NaN rate
+		"synthesis=-0.1",           // negative
+		"synthesis=1.5",            // > 1
+		"pcr=30",                   // missing sub rate
+		"pcr=x:0.1",                // bad cycles
+		"pcr=-3:0.1",               // negative cycles
+		"pcr=30:0.1:0.2:0.3",       // too many fields
+		"aging=100",                // missing rate
+		"aging=-1:0.1",             // negative years
+		"sequencing=0.04:sideways", // unknown spatial
+		"naive=0.1:0.1",            // missing del
+	} {
+		if _, err := ParseStages(spec); err == nil {
+			t.Errorf("ParseStages(%q) accepted", spec)
+		}
+	}
+}
+
+func TestStageListBuild(t *testing.T) {
+	list, err := ParseStages("synthesis=0.0118,pcr=30:0.0001:0.02,aging=100:3e-05:0.00133,sequencing=0.0413:terminal-skew")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := list.Build("dsl")
+	if pipe.Name() != "dsl" {
+		t.Errorf("pipeline name = %q", pipe.Name())
+	}
+	if len(pipe.Stages) != 4 {
+		t.Fatalf("built %d stages", len(pipe.Stages))
+	}
+	if _, ok := pipe.Stages[1].(*PCRAmplification); !ok {
+		t.Errorf("pcr with EFFSD built %T, want *PCRAmplification", pipe.Stages[1])
+	}
+	if _, ok := pipe.Stages[2].(*AgingStage); !ok {
+		t.Errorf("aging with BREAK built %T, want *AgingStage", pipe.Stages[2])
+	}
+	cov := pipe.BindCoverage(FixedCoverage(10))
+	if !strings.Contains(cov.Name(), "+pool(") {
+		t.Errorf("pool stages not bound: %q", cov.Name())
+	}
+
+	// Strand-only variants of the same stages must not wrap coverage.
+	strandOnly, err := ParseStages("pcr=30:0.0001,aging=100:3e-05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov := strandOnly.Build("s").BindCoverage(FixedCoverage(10)); cov.Name() != FixedCoverage(10).Name() {
+		t.Errorf("strand-only DSL pipeline wrapped coverage: %q", cov.Name())
+	}
+
+	// The built pipeline transmits.
+	ref := RandomReferences(1, 110, 3)[0]
+	if err := pipe.Transmit(ref, rng.New(5)).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStageListBuildMatchesPhysicalPipeline: the DSL rendering of the
+// physical pipeline builds a channel with identical output to the
+// constructor, so specs and code name the same channel.
+func TestStageListBuildMatchesPhysicalPipeline(t *testing.T) {
+	want := NewPhysicalPipeline("p", 0.059, 100)
+	// Constructor rates, spelled in the DSL.
+	list, err := ParseStages("synthesis=0.0118,pcr=30:9.833333333333334e-05:0.02,aging=100:2.9500000000000004e-05:0.00133,sequencing=0.0413:terminal-skew")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := list.Build("p")
+	ref := RandomReferences(1, 110, 7)[0]
+	r1, r2 := rng.New(9), rng.New(9)
+	a, b := want.Transmit(ref, r1), got.Transmit(ref, r2)
+	if a != b {
+		t.Errorf("DSL pipeline output differs from constructor:\n%q\n%q", a, b)
+	}
+	c1 := want.BindCoverage(FixedCoverage(50)).Sample(3, rng.New(11))
+	c2 := got.BindCoverage(FixedCoverage(50)).Sample(3, rng.New(11))
+	if c1 != c2 {
+		t.Errorf("DSL pool coverage %d differs from constructor %d", c2, c1)
+	}
+}
+
+func FuzzParseStages(f *testing.F) {
+	f.Add("synthesis=0.0118,pcr=30:0.0001:0.02,aging=100:3e-05:0.00133,sequencing=0.0413:terminal-skew")
+	f.Add("naive=0.02:0.01:0.03")
+	f.Add("pcr=30:0.0001")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		list, err := ParseStages(s)
+		if err != nil {
+			return
+		}
+		// Accepted specs must round-trip through String and build a
+		// working pipeline without panicking.
+		again, err := ParseStages(list.String())
+		if err != nil {
+			t.Fatalf("String() output %q does not re-parse: %v", list.String(), err)
+		}
+		if len(again) != len(list) {
+			t.Fatalf("round trip changed stage count: %d -> %d", len(list), len(again))
+		}
+		pipe := list.Build("fuzz")
+		ref := RandomReferences(1, 40, 1)[0]
+		if err := pipe.Transmit(ref, rng.New(1)).Validate(); err != nil {
+			t.Fatalf("built pipeline emits invalid reads: %v", err)
+		}
+	})
+}

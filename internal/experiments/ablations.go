@@ -66,7 +66,12 @@ func AblationStages(scale Scale) Table {
 		ds := sim.Simulate(ch.Name(), refs, scale.Seed+601)
 		ps, pc := reconstructAccuracy(recon.NewIterative(), ds)
 		agg := 0.0
-		if m, ok := ch.(interface{ AggregateRate() float64 }); ok {
+		switch m := ch.(type) {
+		case interface{ AggregateRate() (float64, bool) }:
+			// Pipelines report whether the sum covers every stage; both
+			// channels here are fully reporting, so the flag is unused.
+			agg, _ = m.AggregateRate()
+		case interface{ AggregateRate() float64 }:
 			agg = m.AggregateRate()
 		}
 		t.Rows = append(t.Rows, []string{ch.Name(), fmt.Sprintf("%.4f", agg), pct(ps), pct(pc)})

@@ -180,6 +180,12 @@ func Registry() []Entry {
 			},
 		},
 		{
+			ID: "ext.stageconv", Description: "Iterative convergence per stage combination (population-aware pipeline)",
+			Run: func(_ *Workbench, scale Scale) ([]Result, error) {
+				return []Result{ExtStageConvergence(scale)}, nil
+			},
+		},
+		{
 			ID: "ext.weighted", Description: "Copy weighting under cluster contamination",
 			Run: func(_ *Workbench, scale Scale) ([]Result, error) {
 				return []Result{ExtWeightedIterative(scale)}, nil

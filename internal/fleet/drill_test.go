@@ -296,6 +296,116 @@ func TestFleetDrillNodeDeath(t *testing.T) {
 	}
 }
 
+// TestFleetDrillStagedPipeline runs the node-death drill on a staged
+// pipeline spec — synthesis → PCR (with amplification skew) → aging (with
+// breakage) → sequencing. The pool stages draw coverage from per-cluster
+// RNGs, so sharding must not move a single draw: the merged dataset must be
+// byte-identical to the single-node run even with a node blackholed
+// mid-shard, and a duplicate submission must hit the shard cache on the
+// pipeline fingerprints.
+func TestFleetDrillStagedPipeline(t *testing.T) {
+	spec := server.SimulateSpec{
+		NumRefs: 48, RefLen: 80, Seed: 17,
+		Stages:   "synthesis=0.0118,pcr=30:0.0001:0.02,aging=100:3e-05:0.00133,sequencing=0.0413:terminal-skew",
+		Coverage: 6, CoverageModel: "negbin",
+	}
+	want := groundTruth(t, spec)
+
+	w1 := startDrillWorker(t, t.TempDir(), false)
+	w2 := startDrillWorker(t, t.TempDir(), false)
+	w3 := startDrillWorker(t, t.TempDir(), true)
+	w1.delayNS.Store(int64(500 * time.Microsecond))
+	w2.delayNS.Store(int64(500 * time.Microsecond))
+	w3.delayNS.Store(int64(10 * time.Millisecond))
+
+	coord, err := New(Config{
+		Nodes: []NodeConfig{
+			{Name: "w1", BaseURL: w1.url()},
+			{Name: "w2", BaseURL: w2.url()},
+			{Name: "w3", BaseURL: w3.url()},
+		},
+		ShardClusters:    8, // 48 clusters -> 6 shards
+		MaxShardAttempts: 8,
+		ProbeInterval:    25 * time.Millisecond,
+		ProbeTimeout:     200 * time.Millisecond,
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Minute,
+		Client:           drillClientCfg(6),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer coord.Close()
+	front := httptest.NewServer(coord)
+	defer front.Close()
+	cli := client.New(client.Config{BaseURL: front.URL, PollInterval: 10 * time.Millisecond, Seed: 7})
+
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		deadline := time.Now().Add(30 * time.Second)
+		for w3.transmits.Load() < 8 {
+			if time.Now().After(deadline) {
+				t.Error("w3 never started transmitting; rendezvous gave it no shards")
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		w3.proxy.SetBlackhole(true)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res := cli.Run(ctx, server.JobSpec{Kind: server.KindSimulate, Simulate: &spec})
+	<-killed
+	if res.Outcome != client.OutcomeSucceeded {
+		t.Fatalf("staged fleet run settled %s: %v", res.Outcome, res.Err)
+	}
+	if !bytes.Equal(res.Data, want) {
+		t.Fatalf("merged staged dataset differs from single-node ground truth (%d vs %d bytes)", len(res.Data), len(want))
+	}
+
+	// The ledger must partition the cluster range with nothing erased.
+	rep := fetchReport(t, front.URL, res.JobID)
+	next := 0
+	for i, st := range rep.Shards {
+		if st.Index != i || st.First != next {
+			t.Fatalf("shard ledger hole at %d: %+v", i, st)
+		}
+		if st.Erased {
+			t.Errorf("shard %d erased; staged pipelines must conserve clusters too", i)
+		}
+		next += st.Count
+	}
+	if next != spec.NumRefs {
+		t.Fatalf("ledger covers %d clusters, want %d", next, spec.NumRefs)
+	}
+
+	// Duplicate spec: every shard must come from the content-addressed cache
+	// keyed on the staged-spec fingerprint.
+	st2, _, err := cli.SubmitKeyed(ctx, "staged-rerun", server.JobSpec{Kind: server.KindSimulate, Simulate: &spec})
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	if st := waitTerminal(t, cli, st2.ID); st.State != server.StateDone {
+		t.Fatalf("duplicate staged run settled %s: %s", st.State, st.Error)
+	}
+	data2, err := cli.Result(ctx, st2.ID)
+	if err != nil {
+		t.Fatalf("duplicate result: %v", err)
+	}
+	if !bytes.Equal(data2, want) {
+		t.Fatal("duplicate staged-spec dataset differs from ground truth")
+	}
+	snap := coord.Registry().Snapshot()
+	if got := snap["dnasimd_fleet_cache_hits_total"]; got != 6 {
+		t.Errorf("cache hits = %v, want 6 (every shard of the duplicate run)", got)
+	}
+	if got := snap["dnasimd_fleet_cache_misses_total"]; got != 6 {
+		t.Errorf("cache misses = %v, want still 6 (duplicate run computed nothing)", got)
+	}
+}
+
 // TestFleetDrillHedge: a straggling shard on a slow node must fire a hedge
 // on the next-ranked node, and the first result must win without changing
 // a byte of the output.

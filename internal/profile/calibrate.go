@@ -90,6 +90,41 @@ func (p *ErrorProfile) Tiers(topK int) []*channel.Model {
 	}
 }
 
+// StagedPipeline calibrates the population-aware multi-stage channel: the
+// fitted error mass is split across the physical stages roughly as the
+// literature attributes it — sequencing dominates (~70%) and keeps the
+// full conditional + spatial shape of the measured profile, synthesis
+// (~20%), PCR (~5%) and decay (~5%) take generic stage shapes at the
+// remaining mass. The PCR and aging stages carry their default pool
+// effects (amplification skew, strand breakage), so binding the pipeline's
+// coverage reproduces the population spread the per-strand tiers cannot.
+func (p *ErrorProfile) StagedPipeline(label string, storageYears float64) channel.Pipeline {
+	const seqShare, synthShare, pcrShare, decayShare = 0.70, 0.20, 0.05, 0.05
+	agg := p.AggregateRate()
+
+	seq := p.ConditionalModel("sequencing")
+	for b := range seq.PerBase {
+		r := seq.PerBase[b]
+		seq.PerBase[b] = channel.Rates{Sub: seqShare * r.Sub, Ins: seqShare * r.Ins, Del: seqShare * r.Del}
+	}
+	seq.LongDel.Prob *= seqShare
+	seq = seq.WithSpatial(dist.Empirical{Weights: p.SpatialHistogram(), Label: "fitted"}).WithLabel("sequencing")
+
+	var decayPerYear float64
+	if storageYears > 0 {
+		decayPerYear = decayShare * agg / storageYears
+	}
+	return channel.Pipeline{
+		Label: label,
+		Stages: []channel.Stage{
+			channel.NewSynthesisStage(synthShare * agg),
+			channel.NewPCRAmplification(30, pcrShare*agg/30, channel.DefaultPCREfficiencySD),
+			channel.NewAgingStage(storageYears, decayPerYear, channel.DefaultBreakagePerYear),
+			seq,
+		},
+	}
+}
+
 // DNASimulatorBaseline builds the static-dictionary DNASimulator whose
 // per-base rates are taken from this profile, mirroring how the original
 // tool ships precomputed dictionaries per technology pair.

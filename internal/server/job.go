@@ -76,6 +76,12 @@ type SimulateSpec struct {
 	Del float64 `json:"del,omitempty"`
 	// Spatial is the error position distribution (uniform when empty).
 	Spatial string `json:"spatial,omitempty"`
+	// Stages is a multi-stage channel in the -stages DSL
+	// (channel.ParseStages); mutually exclusive with Sub/Ins/Del/Spatial.
+	// Pool stages (PCR skew, breakage) bind over the coverage model. The
+	// raw string is part of the fingerprint, so identical stage specs
+	// shard, cache and resume together across dnasimd and the fleet.
+	Stages string `json:"stages,omitempty"`
 	// Coverage is the reads-per-cluster target; CoverageModel picks the
 	// sampler (fixed, negbin, poisson, normal; fixed when empty).
 	Coverage      float64 `json:"coverage,omitempty"`
@@ -129,6 +135,14 @@ func (sp *SimulateSpec) Validate() error {
 	if err := rates.Validate(); err != nil {
 		return err
 	}
+	if sp.Stages != "" {
+		if sp.Sub != 0 || sp.Ins != 0 || sp.Del != 0 || sp.Spatial != "" {
+			return errors.New("stages is mutually exclusive with sub/ins/del/spatial")
+		}
+		if _, err := channel.ParseStages(sp.Stages); err != nil {
+			return err
+		}
+	}
 	if sp.Coverage <= 0 {
 		sp.Coverage = 6
 	}
@@ -172,15 +186,27 @@ func (sp *SimulateSpec) References() []dna.Strand {
 }
 
 // Simulator builds the channel and coverage model the spec describes.
+// Stage pipelines bind their pool stages over the coverage model before the
+// fault injectors wrap both, so faults stay outermost — a dropout zeroes a
+// cluster no matter what the pool stages said.
 func (sp *SimulateSpec) Simulator() (channel.Channel, channel.CoverageModel, error) {
-	m := channel.NewNaive("dnasimd", channel.Rates{Sub: sp.Sub, Ins: sp.Ins, Del: sp.Del})
-	var ch channel.Channel = m
-	if sp.Spatial != "" && sp.Spatial != "uniform" {
-		spat, err := dist.ByName(sp.Spatial)
+	var ch channel.Channel
+	if sp.Stages != "" {
+		stages, err := channel.ParseStages(sp.Stages)
 		if err != nil {
 			return nil, nil, err
 		}
-		ch = m.WithSpatial(spat)
+		ch = stages.Build("dnasimd-staged")
+	} else {
+		m := channel.NewNaive("dnasimd", channel.Rates{Sub: sp.Sub, Ins: sp.Ins, Del: sp.Del})
+		ch = m
+		if sp.Spatial != "" && sp.Spatial != "uniform" {
+			spat, err := dist.ByName(sp.Spatial)
+			if err != nil {
+				return nil, nil, err
+			}
+			ch = m.WithSpatial(spat)
+		}
 	}
 	var cov channel.CoverageModel
 	switch sp.CoverageModel {
@@ -194,6 +220,9 @@ func (sp *SimulateSpec) Simulator() (channel.Channel, channel.CoverageModel, err
 		cov = channel.NormalCoverage{Mean: sp.Coverage, SD: sp.Coverage / 3}
 	default:
 		return nil, nil, fmt.Errorf("unknown coverage model %q", sp.CoverageModel)
+	}
+	if pipe, ok := ch.(channel.Pipeline); ok {
+		cov = pipe.BindCoverage(cov)
 	}
 	spec, err := faults.ParseSpec(sp.Faults)
 	if err != nil {

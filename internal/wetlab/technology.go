@@ -92,3 +92,30 @@ func (t Technology) SequencingModel() *channel.Model {
 	m.SubMatrix = channel.TransitionBiasedSubMatrix(0.6)
 	return m
 }
+
+// PhysicalPipeline builds the full population-aware storage channel for the
+// technology: synthesis → PCR with amplification skew → aging with strand
+// breakage → the technology's own sequencing stage. Table 1.1's quoted
+// error rates are sequencing rates, so the wet-lab stages ride on top using
+// the standard 70/20/5/5 split (sequencing keeps its quoted rate; the other
+// shares are scaled relative to it). Bind the pool effects over a coverage
+// model with BindCoverage before simulating.
+func (t Technology) PhysicalPipeline(storageYears float64) channel.Pipeline {
+	seqRate := t.TypicalErrorRate()
+	total := seqRate / 0.70
+	pcrRate := 0.05 * total
+	decayRate := 0.05 * total
+	var decayPerYear float64
+	if storageYears > 0 {
+		decayPerYear = decayRate / storageYears
+	}
+	return channel.Pipeline{
+		Label: "physical-" + t.Name,
+		Stages: []channel.Stage{
+			channel.NewSynthesisStage(0.20 * total),
+			channel.NewPCRAmplification(30, pcrRate/30, channel.DefaultPCREfficiencySD),
+			channel.NewAgingStage(storageYears, decayPerYear, channel.DefaultBreakagePerYear),
+			channel.AsStage(t.SequencingModel()),
+		},
+	}
+}

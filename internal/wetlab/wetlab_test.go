@@ -214,6 +214,41 @@ func TestSequencingModels(t *testing.T) {
 	}
 }
 
+func TestTechnologyPhysicalPipeline(t *testing.T) {
+	ref := channel.RandomReferences(1, 110, 12)[0]
+	for _, tech := range Technologies() {
+		pipe := tech.PhysicalPipeline(100)
+		if len(pipe.Stages) != 4 {
+			t.Fatalf("%s: %d stages, want 4", tech.Name, len(pipe.Stages))
+		}
+		if _, ok := pipe.Stages[1].(*channel.PCRAmplification); !ok {
+			t.Errorf("%s: stage 1 is %T, want *channel.PCRAmplification", tech.Name, pipe.Stages[1])
+		}
+		if _, ok := pipe.Stages[2].(*channel.AgingStage); !ok {
+			t.Errorf("%s: stage 2 is %T, want *channel.AgingStage", tech.Name, pipe.Stages[2])
+		}
+		if err := pipe.Transmit(ref, rng.New(13)).Validate(); err != nil {
+			t.Errorf("%s: %v", tech.Name, err)
+		}
+		// Pool stages must bind over coverage.
+		base := channel.FixedCoverage(8)
+		if cov := pipe.BindCoverage(base); cov.Name() == base.Name() {
+			t.Errorf("%s: pool stages not bound: %q", tech.Name, cov.Name())
+		}
+		// The quoted Table 1.1 rate is the sequencing share; the wet-lab
+		// stages ride on top, so the aggregate exceeds it by the 70/20/5/5
+		// split.
+		agg, complete := pipe.AggregateRate()
+		if !complete {
+			t.Errorf("%s: aggregate incomplete", tech.Name)
+		}
+		want := tech.TypicalErrorRate() / 0.70
+		if math.Abs(agg-want)/want > 0.05 {
+			t.Errorf("%s: aggregate %v, want about %v", tech.Name, agg, want)
+		}
+	}
+}
+
 func TestIlluminaGroundTruth(t *testing.T) {
 	cfg := IlluminaConfig()
 	if err := cfg.Validate(); err != nil {
